@@ -1,0 +1,165 @@
+// Command fedbench regenerates the paper's evaluation tables and figures
+// (§VIII). Every experiment prints the rows/series the corresponding table
+// or figure reports; EXPERIMENTS.md records a full run.
+//
+// Usage:
+//
+//	fedbench [flags] all|fig1|tab1|fig7|fig8|fig9|tab2|fig10|fig11|fig12|ablate
+//
+// Examples:
+//
+//	fedbench all                       # full suite at default scale
+//	fedbench -datasets CAL-S fig7      # one dataset
+//	fedbench -max-vertices 2000 all    # scaled-down quick run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/mpc"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		datasets  = flag.String("datasets", "CAL-S,BJ-S,FLA-S", "comma-separated dataset names")
+		silos     = flag.Int("silos", 3, "number of data silos")
+		level     = flag.String("level", "moderate", "congestion level: free|slight|moderate|heavy")
+		queries   = flag.Int("queries", 20, "queries per hop group")
+		groups    = flag.Int("groups", 5, "number of hop groups")
+		landmarks = flag.Int("landmarks", 32, "landmark count")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		maxV      = flag.Int("max-vertices", 0, "cap dataset sizes (0 = full scale)")
+		protocol  = flag.Bool("protocol", false, "run the full MPC protocol instead of the calibrated ideal mode")
+		latency   = flag.Duration("latency", 200*time.Microsecond, "modeled one-way network latency")
+		bandwidth = flag.Float64("bandwidth", 1e9, "modeled bandwidth in bytes/s")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fedbench [flags] all|fig1|tab1|fig7|fig8|fig9|tab2|fig10|fig11|fig12|ablate")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var lvl traffic.Level
+	switch strings.ToLower(*level) {
+	case "free":
+		lvl = traffic.Free
+	case "slight":
+		lvl = traffic.Slight
+	case "moderate":
+		lvl = traffic.Moderate
+	case "heavy":
+		lvl = traffic.Heavy
+	default:
+		fmt.Fprintf(os.Stderr, "unknown congestion level %q\n", *level)
+		os.Exit(2)
+	}
+	mode := mpc.ModeIdeal
+	if *protocol {
+		mode = mpc.ModeProtocol
+	}
+	h := expr.New(expr.Config{
+		Datasets:        strings.Split(*datasets, ","),
+		Silos:           *silos,
+		Level:           lvl,
+		QueriesPerGroup: *queries,
+		NumGroups:       *groups,
+		Landmarks:       *landmarks,
+		Seed:            *seed,
+		Mode:            mode,
+		Net:             mpc.NetworkModel{Latency: *latency, Bandwidth: *bandwidth},
+		MaxVertices:     *maxV,
+		Out:             os.Stdout,
+	})
+
+	start := time.Now()
+	var err error
+	switch flag.Arg(0) {
+	case "all":
+		err = h.RunAll()
+	case "fig1":
+		var rows []expr.Fig1Row
+		if rows, err = h.RunFig1(0, 0); err == nil {
+			h.PrintFig1(rows)
+		}
+	case "tab1":
+		var rows []expr.Tab1Row
+		if rows, err = h.RunTab1(); err == nil {
+			h.PrintTab1(rows)
+		}
+	case "fig7", "fig8":
+		var res *expr.CompResult
+		if res, err = h.RunComparative(); err == nil {
+			if flag.Arg(0) == "fig7" {
+				h.PrintFig7(res)
+			} else {
+				h.PrintFig8(res)
+			}
+		}
+	case "fig9":
+		var res *expr.ScalResult
+		if res, err = h.RunScalability(nil); err == nil {
+			h.PrintFig9(res)
+		}
+	case "tab2":
+		var rows []expr.Tab2Row
+		if rows, err = h.RunTab2(); err == nil {
+			h.PrintTab2(rows)
+		}
+	case "fig10":
+		var comp *expr.CompResult
+		if comp, err = h.RunComparative(); err == nil {
+			h.PrintFig10(h.RunFig10(comp))
+		}
+	case "fig11":
+		var res *expr.Fig11Result
+		if res, err = h.RunFig11(0); err == nil {
+			h.PrintFig11(res)
+		}
+	case "fig12":
+		var res *expr.Fig12Result
+		if res, err = h.RunFig12(); err == nil {
+			h.PrintFig12(res)
+		}
+	case "ablate":
+		var alphas []expr.AlphaRow
+		if alphas, err = h.RunAlphaAblation(nil); err != nil {
+			break
+		}
+		h.PrintAlphaAblation(alphas)
+		var lms []expr.LandmarkRow
+		if lms, err = h.RunLandmarkAblation(nil); err != nil {
+			break
+		}
+		h.PrintLandmarkAblation(lms)
+		var ests []expr.EstimatorRow
+		if ests, err = h.RunEstimatorAblation(); err != nil {
+			break
+		}
+		h.PrintEstimatorAblation(ests)
+		var bats []expr.BatchRow
+		if bats, err = h.RunBatchingAblation(); err != nil {
+			break
+		}
+		h.PrintBatchingAblation(bats)
+		var idxs []expr.IndexRow
+		if idxs, err = h.RunIndexAblation(); err != nil {
+			break
+		}
+		h.PrintIndexAblation(idxs)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,152 @@
+// Command fedroad answers ad-hoc federated shortest-path queries on a
+// generated or loaded road network, printing the route and the secure
+// computation cost.
+//
+// Usage:
+//
+//	fedroad [flags]
+//
+// Examples:
+//
+//	fedroad -n 2000 -s 3 -t 1500                # SPSP on a generated network
+//	fedroad -dataset BJ-S -s 10 -t 7000         # SPSP on a named dataset
+//	fedroad -n 2000 -s 3 -knn 8                 # kNN from vertex 3
+//	fedroad -graph net.gr -s 0 -t 99 -protocol  # full MPC over a file graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	fedroad "repro"
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		dataset   = flag.String("dataset", "", "named dataset (CAL-S, BJ-S, FLA-S)")
+		n         = flag.Int("n", 1000, "generated network size when no dataset/graph is given")
+		graphFile = flag.String("graph", "", "load a road network from a DIMACS-like file")
+		silos     = flag.Int("silos", 3, "number of data silos")
+		level     = flag.String("level", "moderate", "congestion level: free|slight|moderate|heavy")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		src       = flag.Int("s", 0, "source vertex")
+		dst       = flag.Int("t", -1, "target vertex (SPSP)")
+		knn       = flag.Int("knn", 0, "k nearest neighbors from -s instead of SPSP")
+		estimator = flag.String("estimator", "fed-amps", "lower bound: none|fed-alt|fed-alt-max|fed-amps")
+		queue     = flag.String("queue", "tm-tree", "priority queue: heap|l-heap|tm-tree")
+		noIndex   = flag.Bool("no-index", false, "skip the federated shortcut index (Naive-Dijk)")
+		protocol  = flag.Bool("protocol", false, "run the full MPC protocol per comparison")
+	)
+	flag.Parse()
+
+	lvl, err := parseLevel(*level)
+	fail(err)
+
+	var g *fedroad.Graph
+	var w0 fedroad.Weights
+	switch {
+	case *graphFile != "":
+		f, err := os.Open(*graphFile)
+		fail(err)
+		g, w0, err = fedroad.LoadGraph(f)
+		f.Close()
+		fail(err)
+	case *dataset != "":
+		g, w0, _ = graph.GenerateDataset(*dataset)
+	default:
+		g, w0 = fedroad.GenerateRoadNetwork(*n, *seed)
+	}
+	fmt.Printf("road network: %d vertices, %d arcs\n", g.NumVertices(), g.NumArcs())
+
+	cfg := fedroad.Config{Seed: *seed}
+	if *protocol {
+		cfg.Mode = fedroad.ModeProtocol
+	}
+	silosW := fedroad.SimulateCongestion(w0, *silos, lvl, *seed+1)
+	fed, err := fedroad.New(g, w0, silosW, cfg)
+	fail(err)
+
+	if !*noIndex {
+		start := time.Now()
+		fail(fed.BuildIndex())
+		st := fed.IndexStats()
+		fmt.Printf("federated shortcut index: %d shortcuts, %d Fed-SACs, built in %v\n",
+			st.Shortcuts, st.SAC.Compares, time.Since(start).Round(time.Millisecond))
+	}
+
+	opt := fedroad.QueryOptions{
+		Estimator: fedroad.Estimator(*estimator),
+		Queue:     fedroad.QueueKind(*queue),
+		NoIndex:   *noIndex,
+	}
+
+	if *knn > 0 {
+		routes, stats, err := fed.NearestNeighbors(fedroad.Vertex(*src), *knn, opt)
+		fail(err)
+		fmt.Printf("\n%d nearest vertices to %d on the joint road network:\n", *knn, *src)
+		for i, r := range routes {
+			fmt.Printf("  %2d. vertex %-6d joint cost %s  path %s\n",
+				i+1, r.Path[len(r.Path)-1], fmtJoint(fed, r), fmtPath(r.Path))
+		}
+		printStats(stats)
+		return
+	}
+
+	if *dst < 0 {
+		*dst = g.NumVertices() - 1
+	}
+	route, stats, err := fed.ShortestPath(fedroad.Vertex(*src), fedroad.Vertex(*dst), opt)
+	fail(err)
+	if !route.Found {
+		fmt.Printf("no route from %d to %d\n", *src, *dst)
+		return
+	}
+	fmt.Printf("\njoint shortest path %d -> %d (%d segments), joint cost %s\n",
+		*src, *dst, len(route.Path)-1, fmtJoint(fed, route))
+	fmt.Printf("path: %s\n", fmtPath(route.Path))
+	printStats(stats)
+}
+
+func parseLevel(s string) (traffic.Level, error) {
+	switch strings.ToLower(s) {
+	case "free":
+		return traffic.Free, nil
+	case "slight":
+		return traffic.Slight, nil
+	case "moderate":
+		return traffic.Moderate, nil
+	case "heavy":
+		return traffic.Heavy, nil
+	}
+	return traffic.Level{}, fmt.Errorf("unknown congestion level %q", s)
+}
+
+func fmtJoint(fed *fedroad.Federation, r fedroad.Route) string {
+	mean := float64(fedroad.JointCost(r)) / float64(fed.Silos()) / 1000
+	return fmt.Sprintf("%.1fs travel time", mean)
+}
+
+func fmtPath(p []fedroad.Vertex) string {
+	if len(p) <= 12 {
+		return fmt.Sprint(p)
+	}
+	return fmt.Sprintf("%v ... %v (%d vertices)", p[:6], p[len(p)-6:], len(p))
+}
+
+func printStats(st fedroad.Stats) {
+	fmt.Printf("cost: %d settled vertices, %d Fed-SACs, %d MPC rounds, %d bytes, %v local + %v simulated network\n",
+		st.SettledVertices, st.SAC.Compares, st.SAC.Rounds, st.SAC.Bytes,
+		st.WallTime.Round(time.Microsecond), st.SAC.SimNet.Round(time.Microsecond))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedroad: %v\n", err)
+		os.Exit(1)
+	}
+}

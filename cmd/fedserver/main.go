@@ -1,0 +1,64 @@
+// Command fedserver runs a federated routing service over HTTP: it assembles
+// a traffic data federation, builds the federated shortcut index and serves
+// secure shortest-path, kNN and traffic-update requests.
+//
+//	fedserver -n 2000 -silos 3 -addr :8080
+//
+//	curl 'localhost:8080/route?s=12&t=1780'
+//	curl 'localhost:8080/knn?s=12&k=5'
+//	curl -X POST localhost:8080/traffic -d '[{"silo":0,"arc":17,"travel_ms":90000}]'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	fedroad "repro"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		dataset = flag.String("dataset", "", "named dataset (CAL-S, BJ-S, FLA-S)")
+		n       = flag.Int("n", 2000, "generated network size when no dataset is given")
+		silos   = flag.Int("silos", 3, "number of data silos")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		noIndex = flag.Bool("no-index", false, "skip building the shortcut index")
+	)
+	flag.Parse()
+
+	var g *fedroad.Graph
+	var w0 fedroad.Weights
+	if *dataset != "" {
+		g, w0, _ = graph.GenerateDataset(*dataset)
+	} else {
+		g, w0 = fedroad.GenerateRoadNetwork(*n, *seed)
+	}
+	silosW := fedroad.SimulateCongestion(w0, *silos, fedroad.Moderate, *seed+1)
+	fed, err := fedroad.New(g, w0, silosW, fedroad.Config{Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("federation: %d vertices, %d arcs, %d silos", g.NumVertices(), g.NumArcs(), *silos)
+	if !*noIndex {
+		start := time.Now()
+		if err := fed.BuildIndex(); err != nil {
+			fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("index: %d shortcuts in %v", fed.IndexStats().Shortcuts, time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := newServer(fed)
+	log.Printf("listening on http://%s", *addr)
+	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+		log.Fatal(err)
+	}
+}

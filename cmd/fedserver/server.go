@@ -1,0 +1,236 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	fedroad "repro"
+)
+
+// server wraps a federation behind an HTTP API:
+//
+//	GET  /route?s=<v>&t=<v>[&estimator=..][&queue=..][&batched=1][&noindex=1]
+//	GET  /knn?s=<v>&k=<n>
+//	POST /traffic   body: [{"silo":0,"arc":17,"travel_ms":42000}, ...]
+//	GET  /stats
+//	GET  /healthz
+//
+// Queries run under a mutex: the underlying engines are not safe for
+// concurrent use, and traffic updates must not interleave with searches
+// (single-writer semantics a production gateway would enforce per
+// federation).
+type server struct {
+	mu  sync.Mutex
+	fed *fedroad.Federation
+}
+
+func newServer(fed *fedroad.Federation) *server { return &server{fed: fed} }
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /route", s.handleRoute)
+	mux.HandleFunc("GET /knn", s.handleKNN)
+	mux.HandleFunc("POST /traffic", s.handleTraffic)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+type routeResponse struct {
+	Found         bool             `json:"found"`
+	Path          []fedroad.Vertex `json:"path,omitempty"`
+	Segments      int              `json:"segments"`
+	MeanTravelSec float64          `json:"mean_travel_sec"`
+	FedSACs       int64            `json:"fed_sacs"`
+	MPCRounds     int64            `json:"mpc_rounds"`
+	MPCBytes      int64            `json:"mpc_bytes"`
+	SettledVerts  int              `json:"settled_vertices"`
+	LocalMicros   int64            `json:"local_us"`
+	NetworkMicros int64            `json:"simulated_network_us"`
+}
+
+func (s *server) vertexParam(r *http.Request, name string) (fedroad.Vertex, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 || v >= s.fed.Graph().NumVertices() {
+		return 0, fmt.Errorf("parameter %q out of range [0,%d)", name, s.fed.Graph().NumVertices())
+	}
+	return fedroad.Vertex(v), nil
+}
+
+func queryOptions(r *http.Request) fedroad.QueryOptions {
+	q := r.URL.Query()
+	opt := fedroad.QueryOptions{
+		Estimator:  fedroad.Estimator(q.Get("estimator")),
+		Queue:      fedroad.QueueKind(q.Get("queue")),
+		NoIndex:    q.Get("noindex") == "1",
+		BatchedMPC: q.Get("batched") == "1",
+	}
+	return opt
+}
+
+func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	src, err := s.vertexParam(r, "s")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	dst, err := s.vertexParam(r, "t")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	route, stats, err := s.fed.ShortestPath(src, dst, queryOptions(r))
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, s.toResponse(route, stats))
+}
+
+func (s *server) toResponse(route fedroad.Route, stats fedroad.Stats) routeResponse {
+	resp := routeResponse{
+		Found:         route.Found,
+		FedSACs:       stats.SAC.Compares,
+		MPCRounds:     stats.SAC.Rounds,
+		MPCBytes:      stats.SAC.Bytes,
+		SettledVerts:  stats.SettledVertices,
+		LocalMicros:   stats.WallTime.Microseconds(),
+		NetworkMicros: stats.SAC.SimNet.Microseconds(),
+	}
+	if route.Found {
+		resp.Path = route.Path
+		resp.Segments = len(route.Path) - 1
+		resp.MeanTravelSec = float64(fedroad.JointCost(route)) / float64(s.fed.Silos()) / 1000
+	}
+	return resp
+}
+
+func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	src, err := s.vertexParam(r, "s")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil || k < 1 || k > s.fed.Graph().NumVertices() {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parameter k out of range"))
+		return
+	}
+	s.mu.Lock()
+	routes, stats, err := s.fed.NearestNeighbors(src, k, queryOptions(r))
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]routeResponse, len(routes))
+	for i, rt := range routes {
+		out[i] = s.toResponse(rt, fedroad.Stats{})
+	}
+	writeJSON(w, struct {
+		Results []routeResponse `json:"results"`
+		FedSACs int64           `json:"fed_sacs"`
+	}{out, stats.SAC.Compares})
+}
+
+type trafficChange struct {
+	Silo     int         `json:"silo"`
+	Arc      fedroad.Arc `json:"arc"`
+	TravelMs int64       `json:"travel_ms"`
+}
+
+func (s *server) handleTraffic(w http.ResponseWriter, r *http.Request) {
+	var changes []trafficChange
+	if err := json.NewDecoder(r.Body).Decode(&changes); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid body: %w", err))
+		return
+	}
+	numArcs := s.fed.Graph().NumArcs()
+	arcSet := map[fedroad.Arc]bool{}
+	for _, c := range changes {
+		if c.Silo < 0 || c.Silo >= s.fed.Silos() {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("silo %d out of range", c.Silo))
+			return
+		}
+		if c.Arc < 0 || int(c.Arc) >= numArcs {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("arc %d out of range", c.Arc))
+			return
+		}
+		if c.TravelMs < 1 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("travel_ms must be positive"))
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range changes {
+		s.fed.SetTraffic(c.Silo, c.Arc, c.TravelMs)
+		arcSet[c.Arc] = true
+	}
+	arcs := make([]fedroad.Arc, 0, len(arcSet))
+	for a := range arcSet {
+		arcs = append(arcs, a)
+	}
+	start := time.Now()
+	var updated any
+	if s.fed.HasIndex() {
+		stats, err := s.fed.UpdateIndex(arcs)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		updated = struct {
+			ChangedArcs int   `json:"changed_arcs"`
+			Reverified  int   `json:"reverified_vertices"`
+			Added       int   `json:"added_shortcuts"`
+			FedSACs     int64 `json:"fed_sacs"`
+			Micros      int64 `json:"update_us"`
+		}{stats.ChangedArcs, stats.ReverifiedVertices, stats.AddedShortcuts,
+			stats.SAC.Compares, time.Since(start).Microseconds()}
+	}
+	writeJSON(w, struct {
+		Applied int `json:"applied"`
+		Index   any `json:"index_update,omitempty"`
+	}{len(changes), updated})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.fed.IndexStats()
+	writeJSON(w, struct {
+		Vertices  int   `json:"vertices"`
+		Arcs      int   `json:"arcs"`
+		Silos     int   `json:"silos"`
+		HasIndex  bool  `json:"has_index"`
+		Shortcuts int   `json:"shortcuts"`
+		BuildSACs int64 `json:"build_fed_sacs"`
+	}{
+		s.fed.Graph().NumVertices(), s.fed.Graph().NumArcs(), s.fed.Silos(),
+		s.fed.HasIndex(), st.Shortcuts, st.SAC.Compares,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	fedroad "repro"
+	"repro/internal/graph"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *fedroad.Federation, fedroad.Weights) {
+	t.Helper()
+	g, w0 := fedroad.GenerateRoadNetwork(250, 31)
+	silosW := fedroad.SimulateCongestion(w0, 3, fedroad.Moderate, 32)
+	fed, err := fedroad.New(g, w0, silosW, fedroad.Config{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	joint := make(fedroad.Weights, len(w0))
+	for _, s := range silosW {
+		for a, w := range s {
+			joint[a] += w
+		}
+	}
+	ts := httptest.NewServer(newServer(fed).routes())
+	t.Cleanup(ts.Close)
+	return ts, fed, joint
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestRouteEndpoint(t *testing.T) {
+	ts, fed, joint := testServer(t)
+	var resp routeResponse
+	r := getJSON(t, ts.URL+"/route?s=3&t=200", &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if !resp.Found || resp.Segments != len(resp.Path)-1 {
+		t.Fatalf("bad response: %+v", resp)
+	}
+	want, _ := graph.DijkstraTo(fed.Graph(), joint, 3, 200)
+	got := resp.MeanTravelSec * float64(fed.Silos()) * 1000
+	if int64(got+0.5) != want {
+		t.Fatalf("route cost %f, want %d", got, want)
+	}
+	if resp.FedSACs == 0 || resp.MPCRounds == 0 {
+		t.Fatalf("missing MPC accounting: %+v", resp)
+	}
+	// Option pass-through.
+	r = getJSON(t, ts.URL+"/route?s=3&t=200&queue=tm-tree&estimator=fed-amps&batched=1", &resp)
+	if r.StatusCode != http.StatusOK || !resp.Found {
+		t.Fatalf("batched route failed: %d %+v", r.StatusCode, resp)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	ts, _, _ := testServer(t)
+	for _, q := range []string{
+		"/route?t=5",                 // missing s
+		"/route?s=5",                 // missing t
+		"/route?s=-1&t=5",            // negative
+		"/route?s=5&t=999999",        // out of range
+		"/route?s=a&t=5",             // not a number
+		"/route?s=1&t=2&queue=bogus", // bad queue
+	} {
+		if r := getJSON(t, ts.URL+q, nil); r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, r.StatusCode)
+		}
+	}
+}
+
+func TestKNNEndpoint(t *testing.T) {
+	ts, fed, joint := testServer(t)
+	var resp struct {
+		Results []routeResponse `json:"results"`
+		FedSACs int64           `json:"fed_sacs"`
+	}
+	r := getJSON(t, ts.URL+"/knn?s=10&k=5", &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if len(resp.Results) != 5 || resp.FedSACs == 0 {
+		t.Fatalf("bad kNN response: %+v", resp)
+	}
+	full := graph.Dijkstra(fed.Graph(), joint, 10)
+	for _, rr := range resp.Results {
+		tgt := rr.Path[len(rr.Path)-1]
+		want := float64(full.Dist[tgt]) / float64(fed.Silos()) / 1000
+		if diff := rr.MeanTravelSec - want; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("kNN dist to %d: %f, want %f", tgt, rr.MeanTravelSec, want)
+		}
+	}
+	if r := getJSON(t, ts.URL+"/knn?s=10&k=0", nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestTrafficEndpoint(t *testing.T) {
+	ts, fed, _ := testServer(t)
+	// Route before the jam.
+	var before routeResponse
+	getJSON(t, ts.URL+"/route?s=0&t=120", &before)
+
+	// Jam every segment of that route on all silos.
+	var changes []trafficChange
+	for i := 0; i+1 < len(before.Path); i++ {
+		a := fed.Graph().FindArc(before.Path[i], before.Path[i+1])
+		for p := 0; p < fed.Silos(); p++ {
+			changes = append(changes, trafficChange{Silo: p, Arc: a, TravelMs: 500000})
+		}
+	}
+	body, _ := json.Marshal(changes)
+	resp, err := http.Post(ts.URL+"/traffic", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traffic update status %d", resp.StatusCode)
+	}
+	var upd struct {
+		Applied int `json:"applied"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&upd); err != nil {
+		t.Fatal(err)
+	}
+	if upd.Applied != len(changes) {
+		t.Fatalf("applied %d of %d", upd.Applied, len(changes))
+	}
+
+	// Consistency after the update: indexed route equals flat route.
+	var fast, slow routeResponse
+	getJSON(t, ts.URL+"/route?s=0&t=120", &fast)
+	getJSON(t, ts.URL+"/route?s=0&t=120&noindex=1&estimator=none&queue=heap", &slow)
+	if fast.MeanTravelSec != slow.MeanTravelSec {
+		t.Fatalf("post-update divergence: %f vs %f", fast.MeanTravelSec, slow.MeanTravelSec)
+	}
+}
+
+func TestTrafficValidation(t *testing.T) {
+	ts, _, _ := testServer(t)
+	for _, body := range []string{
+		`not json`,
+		`[{"silo":99,"arc":0,"travel_ms":1000}]`,
+		`[{"silo":0,"arc":999999,"travel_ms":1000}]`,
+		`[{"silo":0,"arc":0,"travel_ms":0}]`,
+	} {
+		resp, err := http.Post(ts.URL+"/traffic", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	ts, fed, _ := testServer(t)
+	var st struct {
+		Vertices  int  `json:"vertices"`
+		HasIndex  bool `json:"has_index"`
+		Shortcuts int  `json:"shortcuts"`
+	}
+	if r := getJSON(t, ts.URL+"/stats", &st); r.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", r.StatusCode)
+	}
+	if st.Vertices != fed.Graph().NumVertices() || !st.HasIndex || st.Shortcuts == 0 {
+		t.Fatalf("bad stats: %+v", st)
+	}
+	if r := getJSON(t, ts.URL+"/healthz", nil); r.StatusCode != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	ts, fed, _ := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := i % fed.Graph().NumVertices()
+			tt := (i * 37) % fed.Graph().NumVertices()
+			resp, err := http.Get(fmt.Sprintf("%s/route?s=%d&t=%d", ts.URL, s, tt))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

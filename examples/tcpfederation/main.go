@@ -1,0 +1,94 @@
+// TCP federation: three silos run the secure comparison protocol over real
+// TCP sockets on localhost — the same wire protocol a multi-machine
+// deployment would use. Each silo contributes its private partial cost of
+// two candidate routes; the mesh reveals only which route is jointly
+// cheaper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mpc"
+	"repro/internal/transport"
+)
+
+func main() {
+	const parties = 3
+
+	// Each silo's private partial costs of two candidate routes A and B
+	// (milliseconds of observed travel time).
+	costA := []int64{412_000, 388_500, 405_200}
+	costB := []int64{399_000, 401_700, 404_100}
+	jointA, jointB := int64(0), int64(0)
+	for p := 0; p < parties; p++ {
+		jointA += costA[p]
+		jointB += costB[p]
+	}
+
+	// The preprocessing dealer distributes correlated randomness for one
+	// comparison (in production this is the MPC stack's offline phase).
+	dealer := mpc.NewDealer(parties, 99)
+	tuples := dealer.CmpTuples()
+
+	// Reserve localhost ports for the mesh.
+	addrs := make([]string, parties)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	fmt.Println("silo endpoints:")
+	for i, a := range addrs {
+		fmt.Printf("  silo %d: %s\n", i, a)
+	}
+
+	results := make([]bool, parties)
+	var stats [parties]transport.Stats
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			conn, err := transport.DialMesh(p, parties, addrs, 5*time.Second)
+			if err != nil {
+				log.Fatalf("silo %d: %v", p, err)
+			}
+			defer conn.Close()
+			rng := rand.New(rand.NewPCG(uint64(p)+1000, uint64(p)))
+			less, err := mpc.RunCompareParty(conn, rng, costA[p]-costB[p], &tuples[p])
+			if err != nil {
+				log.Fatalf("silo %d: %v", p, err)
+			}
+			results[p] = less
+			stats[p] = conn.Stats()
+		}(p)
+	}
+	wg.Wait()
+
+	fmt.Printf("\neach silo learned only the comparison bit: route A < route B = %v\n", results[0])
+	for p := 1; p < parties; p++ {
+		if results[p] != results[0] {
+			log.Fatal("silos disagree — protocol bug")
+		}
+	}
+	var totalBytes, totalMsgs int64
+	for p := 0; p < parties; p++ {
+		totalBytes += stats[p].Bytes
+		totalMsgs += stats[p].Messages
+	}
+	fmt.Printf("wire cost: %d bytes in %d TCP frames across the mesh (%d rounds)\n",
+		totalBytes, totalMsgs, mpc.RoundsPerCompare)
+	fmt.Printf("ground truth (never revealed on the wire): joint A = %d, joint B = %d\n", jointA, jointB)
+	if results[0] != (jointA < jointB) {
+		log.Fatal("comparison result wrong")
+	}
+	fmt.Println("result verified against the plaintext ground truth ✓")
+}

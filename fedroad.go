@@ -1,0 +1,412 @@
+// Package fedroad is a from-scratch reproduction of "FedRoad: Secure and
+// Efficient Road Network Queries over Traffic Data Federation" (ICDE 2025):
+// a traffic data federation in which P autonomous silos share a road-network
+// topology, keep their travel-time observations private, and collaboratively
+// answer shortest-path queries on the imaginary weighted joint road network
+// whose edge weights average the silos' observations.
+//
+// The only cross-silo primitive is Fed-SAC, a secret-sharing-based secure
+// sum-and-compare operator: silos learn which of two joint path costs is
+// smaller and nothing else. On top of it the library provides:
+//
+//   - Fed-SSSP / Fed-SPSP: federated Dijkstra, bidirectional and A* search
+//     (paper §II);
+//   - the federated shortcut index: a contraction hierarchy with consistent
+//     shortcut sets and private partial shortcut weights, including dynamic
+//     partial updates (§IV);
+//   - federated lower bounds Fed-ALT, Fed-ALT-Max and Fed-AMPS for A*
+//     pruning (§V);
+//   - the TM-tree, a comparison-optimized priority queue (§VI).
+//
+// Quick start:
+//
+//	g, w0 := fedroad.GenerateRoadNetwork(2000, 42)
+//	silos := fedroad.SimulateCongestion(w0, 3, fedroad.Moderate, 7)
+//	f, _ := fedroad.New(g, w0, silos)
+//	_ = f.BuildIndex()
+//	route, stats, _ := f.ShortestPath(12, 1780)
+//	fmt.Println(route.Path, stats.SAC.Compares)
+//
+// The packages under internal/ hold the implementation; see DESIGN.md for
+// the architecture and EXPERIMENTS.md for the reproduced evaluation.
+package fedroad
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/ch"
+	"repro/internal/core"
+	"repro/internal/fed"
+	"repro/internal/graph"
+	"repro/internal/lb"
+	"repro/internal/mpc"
+	"repro/internal/pq"
+	"repro/internal/traffic"
+)
+
+// Re-exported graph vocabulary.
+type (
+	// Graph is the shared road-network topology.
+	Graph = graph.Graph
+	// Vertex identifies a road junction.
+	Vertex = graph.Vertex
+	// Arc identifies a directed road segment.
+	Arc = graph.Arc
+	// Weights is a per-arc travel-time set (milliseconds).
+	Weights = graph.Weights
+	// CongestionLevel parameterizes the traffic model.
+	CongestionLevel = traffic.Level
+)
+
+// The paper's congestion levels (§VIII-A).
+var (
+	Free     = traffic.Free
+	Slight   = traffic.Slight
+	Moderate = traffic.Moderate
+	Heavy    = traffic.Heavy
+)
+
+// GenerateRoadNetwork produces an irregular road-like network with n
+// junctions and its public free-flow weight set W0. Deterministic in seed.
+func GenerateRoadNetwork(n int, seed uint64) (*Graph, Weights) {
+	return graph.GenerateRoadLike(n, seed)
+}
+
+// GenerateGridNetwork produces a Manhattan-style network with a road
+// hierarchy. Deterministic in seed.
+func GenerateGridNetwork(rows, cols int, seed uint64) (*Graph, Weights) {
+	return graph.GenerateGrid(rows, cols, seed)
+}
+
+// NewGraphBuilder starts a custom topology with n vertices.
+func NewGraphBuilder(n int) *graph.Builder { return graph.NewBuilder(n) }
+
+// LoadGraph parses a DIMACS-like road network (see graph.ReadFrom).
+func LoadGraph(r io.Reader) (*Graph, Weights, error) { return graph.ReadFrom(r) }
+
+// SaveGraph writes a road network in the same format.
+func SaveGraph(w io.Writer, g *Graph, weights Weights) error {
+	return graph.WriteTo(w, g, weights)
+}
+
+// SimulateCongestion derives p private silo weight sets from the static
+// weights under a congestion level (the paper's evaluation traffic model).
+func SimulateCongestion(w0 Weights, p int, lvl CongestionLevel, seed uint64) []Weights {
+	return traffic.SiloWeights(w0, p, lvl, seed)
+}
+
+// ExecutionMode selects how Fed-SAC runs.
+type ExecutionMode int
+
+const (
+	// ModeIdeal evaluates comparisons directly with exact analytic cost
+	// accounting (calibrated against the real protocol) — the default for
+	// experiments.
+	ModeIdeal ExecutionMode = iota
+	// ModeProtocol runs the full secret-sharing MPC protocol between
+	// in-process party goroutines for every comparison.
+	ModeProtocol
+)
+
+// Estimator names a federated lower-bound method for A* pruning.
+type Estimator string
+
+const (
+	// NoEstimator disables A* pruning (plain federated Dijkstra keys).
+	NoEstimator Estimator = Estimator(lb.None)
+	// FedALT selects the tightest landmark bound with secure comparisons.
+	FedALT Estimator = Estimator(lb.FedALT)
+	// FedALTMax selects the landmark on public static weights (no MPC).
+	FedALTMax Estimator = Estimator(lb.FedALTMax)
+	// FedAMPS uses the mean of per-silo local shortest-path costs (the
+	// paper's recommended estimator).
+	FedAMPS Estimator = Estimator(lb.FedAMPS)
+)
+
+// QueueKind names a priority-queue structure.
+type QueueKind string
+
+const (
+	// Heap is the classical binary heap.
+	Heap QueueKind = QueueKind(pq.KindHeap)
+	// LeftistHeap batches insertions via leftist-heap melding.
+	LeftistHeap QueueKind = QueueKind(pq.KindLeftist)
+	// TMTree is the paper's comparison-optimized Tournament Merge tree.
+	TMTree QueueKind = QueueKind(pq.KindTMTree)
+)
+
+// Config tunes a federation. The zero value gives the paper's defaults.
+type Config struct {
+	Mode      ExecutionMode
+	Seed      uint64
+	Landmarks int           // landmark count for Fed-ALT(-Max); default 32
+	Latency   time.Duration // modeled one-way network latency (default 0.2ms)
+	Bandwidth float64       // modeled bandwidth in bytes/s (default 1 GB/s)
+}
+
+// Federation is the top-level handle: the shared topology, the private
+// silos, the MPC engine and (once built) the pre-computed structures.
+type Federation struct {
+	inner *fed.Federation
+	index *ch.Index
+	lm    *lb.Landmarks
+	cfg   Config
+}
+
+// New assembles a federation of len(siloWeights) silos over the shared
+// topology g with public static weights w0. Each silo keeps its weight set
+// private; all cross-silo computation runs through the MPC engine.
+func New(g *Graph, w0 Weights, siloWeights []Weights, cfg ...Config) (*Federation, error) {
+	var c Config
+	if len(cfg) > 1 {
+		return nil, fmt.Errorf("fedroad: at most one Config")
+	}
+	if len(cfg) == 1 {
+		c = cfg[0]
+	}
+	if c.Landmarks == 0 {
+		c.Landmarks = 32
+	}
+	params := mpc.Params{Seed: c.Seed}
+	if c.Mode == ModeProtocol {
+		params.Mode = mpc.ModeProtocol
+	}
+	if c.Latency != 0 || c.Bandwidth != 0 {
+		params.Net = mpc.NetworkModel{Latency: c.Latency, Bandwidth: c.Bandwidth}
+		if params.Net.Latency == 0 {
+			params.Net.Latency = mpc.DefaultLAN().Latency
+		}
+		if params.Net.Bandwidth == 0 {
+			params.Net.Bandwidth = mpc.DefaultLAN().Bandwidth
+		}
+	}
+	inner, err := fed.New(g, w0, siloWeights, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Federation{inner: inner, cfg: c}, nil
+}
+
+// Graph returns the shared topology.
+func (f *Federation) Graph() *Graph { return f.inner.Graph() }
+
+// Silos returns the number of data silos.
+func (f *Federation) Silos() int { return f.inner.P() }
+
+// IndexParams tunes federated index construction: the public ordering
+// heuristic (OrderEdgeDiff or OrderDegree) and the witness-search cap. The
+// zero value gives the paper's setup.
+type IndexParams = ch.Params
+
+// Ordering heuristics for IndexParams.
+const (
+	OrderEdgeDiff = ch.OrderEdgeDiff
+	OrderDegree   = ch.OrderDegree
+)
+
+// BuildIndex constructs the federated shortcut index (§IV) with default
+// parameters. Queries use it automatically once built.
+func (f *Federation) BuildIndex() error {
+	return f.BuildIndexWith(IndexParams{})
+}
+
+// BuildIndexWith constructs the index under explicit framework parameters.
+func (f *Federation) BuildIndexWith(prm IndexParams) error {
+	idx, err := ch.BuildWith(f.inner, prm)
+	if err != nil {
+		return err
+	}
+	f.index = idx
+	return nil
+}
+
+// HasIndex reports whether the shortcut index is built.
+func (f *Federation) HasIndex() bool { return f.index != nil }
+
+// IndexStats reports shortcut count and construction cost; zero values
+// before BuildIndex.
+func (f *Federation) IndexStats() ch.BuildStats {
+	if f.index == nil {
+		return ch.BuildStats{}
+	}
+	return f.index.BuildStatistics()
+}
+
+// SaveIndex persists the built index along the privacy boundary: the shared
+// weight-free structure goes to public, and silo p's private partial weight
+// shard goes to shards[p]. In a deployment each silo stores only its own
+// shard.
+func (f *Federation) SaveIndex(public io.Writer, shards []io.Writer) error {
+	if f.index == nil {
+		return fmt.Errorf("fedroad: no index built")
+	}
+	if len(shards) != f.Silos() {
+		return fmt.Errorf("fedroad: %d shards for %d silos", len(shards), f.Silos())
+	}
+	if err := f.index.WritePublic(public); err != nil {
+		return err
+	}
+	for p, w := range shards {
+		if err := f.index.WriteSiloWeights(p, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSavedIndex restores a previously saved index instead of rebuilding.
+func (f *Federation) LoadSavedIndex(public io.Reader, shards []io.Reader) error {
+	idx, err := ch.LoadIndex(f.inner, public, shards)
+	if err != nil {
+		return err
+	}
+	f.index = idx
+	return nil
+}
+
+// PrecomputeLandmarks prepares the landmark matrices required by the FedALT
+// and FedALTMax estimators (FedAMPS needs no precomputation).
+func (f *Federation) PrecomputeLandmarks() {
+	g := f.inner.Graph()
+	k := f.cfg.Landmarks
+	if k > g.NumVertices()/2 {
+		k = g.NumVertices() / 2
+	}
+	if k < 1 {
+		k = 1
+	}
+	f.lm = lb.PrecomputeLandmarks(f.inner, lb.SelectLandmarks(g, f.inner.StaticWeights(), k, f.cfg.Seed))
+}
+
+// SetTraffic updates silo p's private weight of one arc (a real-time traffic
+// change). Call UpdateIndex afterwards to refresh the shortcut index.
+func (f *Federation) SetTraffic(silo int, a Arc, travelTimeMs int64) {
+	f.inner.Silo(silo).SetWeight(a, travelTimeMs)
+}
+
+// UpdateIndex runs the federated partial index update for the changed arcs.
+func (f *Federation) UpdateIndex(changed []Arc) (ch.UpdateStats, error) {
+	if f.index == nil {
+		return ch.UpdateStats{}, fmt.Errorf("fedroad: no index built")
+	}
+	return f.index.Update(changed)
+}
+
+// QueryOptions tunes a single query. The zero value uses the paper's best
+// stack: the shortcut index when built, Fed-AMPS pruning and the TM-tree.
+type QueryOptions struct {
+	Estimator Estimator
+	Queue     QueueKind
+	// NoIndex forces a flat search even when the index is built (the
+	// paper's Naive-Dijk baseline).
+	NoIndex bool
+	// BatchedMPC batches the TM-tree tournament-build comparisons into
+	// single protocol instances, paying communication rounds once per
+	// expansion level instead of once per comparison (TM-tree queue only).
+	BatchedMPC bool
+}
+
+// Route is a query answer: the joint shortest path and its per-silo partial
+// costs. The joint cost is the mean of the partials; only the path itself
+// and comparison outcomes ever cross silo boundaries.
+type Route struct {
+	Path     []Vertex
+	Partials []int64
+	Found    bool
+}
+
+// Stats re-exports per-query cost counters.
+type Stats = core.QueryStats
+
+func (f *Federation) engine(opt QueryOptions) (*core.Engine, error) {
+	o := core.Options{}
+	if opt.Queue == "" {
+		o.Queue = pq.KindTMTree
+	} else {
+		o.Queue = pq.Kind(opt.Queue)
+	}
+	if opt.Estimator == "" {
+		o.Estimator = lb.FedAMPS
+	} else {
+		o.Estimator = lb.Kind(opt.Estimator)
+	}
+	if o.Estimator == lb.FedALT || o.Estimator == lb.FedALTMax {
+		if f.lm == nil {
+			f.PrecomputeLandmarks()
+		}
+		o.Landmarks = f.lm
+	}
+	if !opt.NoIndex {
+		o.Index = f.index
+	}
+	o.BatchedMPC = opt.BatchedMPC
+	return core.NewEngine(f.inner, o)
+}
+
+// ShortestPath answers a federated single-pair shortest-path query with the
+// default (or given) options.
+func (f *Federation) ShortestPath(s, t Vertex, opts ...QueryOptions) (Route, Stats, error) {
+	var opt QueryOptions
+	if len(opts) > 1 {
+		return Route{}, Stats{}, fmt.Errorf("fedroad: at most one QueryOptions")
+	}
+	if len(opts) == 1 {
+		opt = opts[0]
+	}
+	e, err := f.engine(opt)
+	if err != nil {
+		return Route{}, Stats{}, err
+	}
+	res, stats, err := e.SPSP(s, t)
+	if err != nil {
+		return Route{}, Stats{}, err
+	}
+	return Route{Path: res.Path, Partials: res.Partial, Found: res.Found}, stats, nil
+}
+
+// NearestNeighbors answers a federated kNN query (Fed-SSSP, Alg. 1): the k
+// nearest vertices to s on the joint road network, nearest first (the source
+// itself is the first entry).
+func (f *Federation) NearestNeighbors(s Vertex, k int, opts ...QueryOptions) ([]Route, Stats, error) {
+	var opt QueryOptions
+	if len(opts) > 1 {
+		return nil, Stats{}, fmt.Errorf("fedroad: at most one QueryOptions")
+	}
+	if len(opts) == 1 {
+		opt = opts[0]
+	}
+	// SSSP runs on the flat network; only the queue choice applies.
+	o := core.Options{}
+	if opt.Queue == "" {
+		o.Queue = pq.KindTMTree
+	} else {
+		o.Queue = pq.Kind(opt.Queue)
+	}
+	e, err := core.NewEngine(f.inner, o)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	results, stats, err := e.SSSP(s, k)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	routes := make([]Route, len(results))
+	for i, r := range results {
+		routes[i] = Route{Path: r.Path, Partials: r.Partial, Found: r.Found}
+	}
+	return routes, stats, nil
+}
+
+// JointCost sums a route's per-silo partials — the joint cost scaled by the
+// silo count. This is an evaluation helper: computing it in a real
+// deployment would reveal the joint cost, which FedRoad's protocols never
+// do.
+func JointCost(r Route) int64 {
+	var s int64
+	for _, p := range r.Partials {
+		s += p
+	}
+	return s
+}

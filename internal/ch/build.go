@@ -1,0 +1,378 @@
+package ch
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fed"
+	"repro/internal/graph"
+)
+
+// skipRec records a shortcut pair that was *not* added because a witness path
+// no longer than the via path existed at decision time. The witness's arc set
+// is kept so dynamic updates know when the decision must be re-examined.
+type skipRec struct {
+	u, w        graph.Vertex
+	witnessArcs []int32
+}
+
+// hierarchyState is the bookkeeping shared by construction and dynamic
+// update: the full overlay adjacency and the per-vertex skip records.
+type hierarchyState struct {
+	outAll   [][]int32 // all overlay arcs per tail
+	inAll    [][]int32 // all overlay arcs per head
+	skips    [][]skipRec
+	viaIndex map[graph.Vertex][]int32 // shortcuts grouped by via vertex
+	parents  map[int32][]int32        // child overlay arc -> shortcuts built on it
+}
+
+// Params tunes index construction. The zero value gives the paper's setup:
+// edge-difference ordering and the default witness-search cap.
+type Params struct {
+	// Ordering selects the public importance heuristic (default
+	// OrderEdgeDiff).
+	Ordering Ordering
+	// WitnessCap bounds witness-search settles (default DefaultWitnessCap).
+	// Smaller caps build faster but add more conservative shortcuts.
+	WitnessCap int
+}
+
+// Build constructs the federated shortcut index with the default parameters.
+func Build(f *fed.Federation) (*Index, error) {
+	return BuildWith(f, Params{})
+}
+
+// BuildWith constructs the federated shortcut index for a federation
+// (Alg. 3): a public ordering pass fixes the contraction order; the
+// contraction pass then decides every shortcut on *joint* weights via
+// Fed-SAC, so all silos end with identical shortcut sets while each keeps
+// only its partial shortcut weights.
+func BuildWith(f *fed.Federation, prm Params) (*Index, error) {
+	start := time.Now()
+	g := f.Graph()
+	n := g.NumVertices()
+	p := f.P()
+	if prm.WitnessCap == 0 {
+		prm.WitnessCap = DefaultWitnessCap
+	}
+	if prm.Ordering == "" {
+		prm.Ordering = OrderEdgeDiff
+	}
+
+	var order []graph.Vertex
+	switch prm.Ordering {
+	case OrderEdgeDiff:
+		order = computeOrder(g, f.StaticWeights())
+	case OrderDegree:
+		order = computeOrderDegree(g)
+	default:
+		return nil, fmt.Errorf("ch: unknown ordering %q", prm.Ordering)
+	}
+
+	x := &Index{
+		f:          f,
+		rank:       make([]int32, n),
+		numBase:    g.NumArcs(),
+		witnessCap: prm.WitnessCap,
+	}
+	for v := range x.rank {
+		x.rank[v] = -1
+	}
+	x.hs = &hierarchyState{
+		outAll:   make([][]int32, n),
+		inAll:    make([][]int32, n),
+		skips:    make([][]skipRec, n),
+		viaIndex: make(map[graph.Vertex][]int32),
+		parents:  make(map[int32][]int32),
+	}
+	x.siloW = make([][]int64, p)
+	for s := 0; s < p; s++ {
+		x.siloW[s] = make([]int64, 0, 2*g.NumArcs())
+	}
+	for a := 0; a < g.NumArcs(); a++ {
+		u, w := g.Tail(graph.Arc(a)), g.Head(graph.Arc(a))
+		x.tail = append(x.tail, u)
+		x.head = append(x.head, w)
+		x.via = append(x.via, NoShortcut)
+		x.childA = append(x.childA, -1)
+		x.childB = append(x.childB, -1)
+		for s := 0; s < p; s++ {
+			x.siloW[s] = append(x.siloW[s], f.Silo(s).Weight(graph.Arc(a)))
+		}
+		x.hs.outAll[u] = append(x.hs.outAll[u], int32(a))
+		x.hs.inAll[w] = append(x.hs.inAll[w], int32(a))
+	}
+
+	sac := f.NewSAC()
+	before := f.Engine().Stats()
+
+	for k, v := range order {
+		x.contract(sac, v, buildEligibility(x))
+		x.rank[v] = int32(k)
+		if err := sac.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Route every overlay arc into the query-time up/down lists.
+	x.upOut = make([][]int32, n)
+	x.downIn = make([][]int32, n)
+	for a := int32(0); a < int32(len(x.tail)); a++ {
+		x.addArcToQueryLists(a)
+	}
+
+	x.buildStats = BuildStats{
+		Shortcuts: x.NumShortcuts(),
+		SAC:       f.Engine().Stats().Sub(before),
+		WallTime:  time.Since(start),
+	}
+	return x, nil
+}
+
+// eligibility tells the contraction machinery which overlay arcs and
+// vertices exist in the remaining graph at the current step.
+type eligibility struct {
+	arcOK func(a int32) bool
+	vtxOK func(v graph.Vertex) bool
+}
+
+// buildEligibility: during initial construction a vertex is present until it
+// has been assigned a rank, and every overlay arc created so far is present.
+func buildEligibility(x *Index) eligibility {
+	return eligibility{
+		arcOK: func(int32) bool { return true },
+		vtxOK: func(v graph.Vertex) bool { return x.rank[v] < 0 },
+	}
+}
+
+// updateEligibility reconstructs the remaining graph at contraction step k:
+// vertices with rank > k, and arcs that existed before step k (base arcs or
+// shortcuts whose via vertex was contracted earlier).
+func updateEligibility(x *Index, k int32) eligibility {
+	return eligibility{
+		arcOK: func(a int32) bool {
+			return x.via[a] == NoShortcut || x.rank[x.via[a]] < k
+		},
+		vtxOK: func(v graph.Vertex) bool { return x.rank[v] > k },
+	}
+}
+
+// contract runs the (re-)contraction of v: for every in-neighbor u and
+// out-neighbor w present in the remaining graph, compare the joint via cost
+// against a federated witness search and add the shortcut when the via path
+// wins. Decisions already materialized (an existing shortcut with via v) are
+// refreshed rather than duplicated. Returns the IDs of newly added shortcut
+// arcs.
+func (x *Index) contract(sac *fed.SAC, v graph.Vertex, el eligibility) []int32 {
+	p := x.f.P()
+	minIn := x.minArcPerNeighbor(sac, x.hs.inAll[v], true, v, el)
+	minOut := x.minArcPerNeighbor(sac, x.hs.outAll[v], false, v, el)
+	if len(minIn) == 0 || len(minOut) == 0 {
+		x.hs.skips[v] = nil
+		return nil
+	}
+	existing := make(map[[2]graph.Vertex]int32)
+	for _, a := range x.hs.viaIndex[v] {
+		existing[[2]graph.Vertex{x.tail[a], x.head[a]}] = a
+	}
+
+	var added []int32
+	var skips []skipRec
+	for u, arcUV := range minIn {
+		targets := make(map[graph.Vertex]fed.Partial)
+		viaArcs := make(map[graph.Vertex][2]int32)
+		for w, arcVW := range minOut {
+			if w == u {
+				continue
+			}
+			via := make(fed.Partial, p)
+			for s := 0; s < p; s++ {
+				via[s] = x.siloW[s][arcUV] + x.siloW[s][arcVW]
+			}
+			targets[w] = via
+			viaArcs[w] = [2]int32{arcUV, arcVW}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		dists, witArcs := x.witnessSearch(sac, u, v, targets, el)
+		for w, via := range targets {
+			needShortcut := true
+			if d, ok := dists[w]; ok {
+				// Shortest u→w path runs through v only if via is strictly
+				// shorter than the best path avoiding v.
+				needShortcut = sac.Less(via, d)
+			}
+			if needShortcut {
+				ca, cb := viaArcs[w][0], viaArcs[w][1]
+				if a, ok := existing[[2]graph.Vertex{u, w}]; ok {
+					if x.childA[a] != ca || x.childB[a] != cb {
+						x.childA[a], x.childB[a] = ca, cb
+						x.hs.parents[ca] = append(x.hs.parents[ca], a)
+						x.hs.parents[cb] = append(x.hs.parents[cb], a)
+					}
+					for s := 0; s < p; s++ {
+						x.siloW[s][a] = via[s]
+					}
+				} else {
+					added = append(added, x.addShortcut(v, ca, cb))
+				}
+			} else {
+				skips = append(skips, skipRec{u: u, w: w, witnessArcs: witArcs[w]})
+			}
+		}
+	}
+	x.hs.skips[v] = skips
+	return added
+}
+
+// minArcPerNeighbor reduces parallel arcs between v and each neighbor to the
+// joint-minimum arc, using one Fed-SAC per extra parallel.
+func (x *Index) minArcPerNeighbor(sac *fed.SAC, arcs []int32, incoming bool, v graph.Vertex, el eligibility) map[graph.Vertex]int32 {
+	best := make(map[graph.Vertex]int32)
+	for _, a := range arcs {
+		if !el.arcOK(a) {
+			continue
+		}
+		other := x.head[a]
+		if incoming {
+			other = x.tail[a]
+		}
+		if other == v || !el.vtxOK(other) {
+			continue
+		}
+		if cur, ok := best[other]; !ok || sac.Less(x.Partial(a), x.Partial(cur)) {
+			best[other] = a
+		}
+	}
+	return best
+}
+
+// addShortcut appends a new shortcut arc composed of two existing overlay
+// arcs (tail(ca) → v → head(cb)) and routes it into the hierarchy adjacency.
+func (x *Index) addShortcut(v graph.Vertex, ca, cb int32) int32 {
+	a := int32(len(x.tail))
+	u, w := x.tail[ca], x.head[cb]
+	x.tail = append(x.tail, u)
+	x.head = append(x.head, w)
+	x.via = append(x.via, v)
+	x.childA = append(x.childA, ca)
+	x.childB = append(x.childB, cb)
+	for s := range x.siloW {
+		x.siloW[s] = append(x.siloW[s], x.siloW[s][ca]+x.siloW[s][cb])
+	}
+	x.hs.outAll[u] = append(x.hs.outAll[u], a)
+	x.hs.inAll[w] = append(x.hs.inAll[w], a)
+	x.hs.viaIndex[v] = append(x.hs.viaIndex[v], a)
+	x.hs.parents[ca] = append(x.hs.parents[ca], a)
+	x.hs.parents[cb] = append(x.hs.parents[cb], a)
+	return a
+}
+
+// witItem is one frontier entry of a federated witness search.
+type witItem struct {
+	vtx  graph.Vertex
+	part fed.Partial
+	par  graph.Vertex
+	parc int32
+}
+
+// witHeap is a binary min-heap over witItems ordered by Fed-SAC.
+type witHeap struct {
+	sac   *fed.SAC
+	items []witItem
+}
+
+func (h *witHeap) Len() int { return len(h.items) }
+
+func (h *witHeap) push(it witItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.sac.Less(h.items[i].part, h.items[p].part) {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *witHeap) pop() witItem {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.sac.Less(h.items[l].part, h.items[s].part) {
+			s = l
+		}
+		if r < n && h.sac.Less(h.items[r].part, h.items[s].part) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.items[s], h.items[i] = h.items[i], h.items[s]
+		i = s
+	}
+	return top
+}
+
+// witnessSearch runs a capped federated Dijkstra from u over the remaining
+// graph (excluding v), with every comparison through Fed-SAC. It returns the
+// settled partial distances and, per settled target, the arcs of the found
+// witness path (for skip records).
+func (x *Index) witnessSearch(sac *fed.SAC, u, v graph.Vertex, targets map[graph.Vertex]fed.Partial, el eligibility) (map[graph.Vertex]fed.Partial, map[graph.Vertex][]int32) {
+	h := &witHeap{sac: sac}
+	h.push(witItem{vtx: u, part: x.f.ZeroPartial(), par: graph.NoVertex, parc: -1})
+	settled := make(map[graph.Vertex]fed.Partial)
+	parent := make(map[graph.Vertex]graph.Vertex)
+	parArc := make(map[graph.Vertex]int32)
+	found, settles := 0, 0
+	for h.Len() > 0 && settles < x.witnessCap && found < len(targets) {
+		it := h.pop()
+		if _, done := settled[it.vtx]; done {
+			continue
+		}
+		settled[it.vtx] = it.part
+		parent[it.vtx] = it.par
+		parArc[it.vtx] = it.parc
+		settles++
+		if _, isT := targets[it.vtx]; isT {
+			found++
+		}
+		for _, a := range x.hs.outAll[it.vtx] {
+			if !el.arcOK(a) {
+				continue
+			}
+			z := x.head[a]
+			if z == v || z == it.vtx || !el.vtxOK(z) {
+				continue
+			}
+			if _, done := settled[z]; done {
+				continue
+			}
+			np := make(fed.Partial, len(it.part))
+			for s := range np {
+				np[s] = it.part[s] + x.siloW[s][a]
+			}
+			h.push(witItem{vtx: z, part: np, par: it.vtx, parc: a})
+		}
+	}
+	witArcs := make(map[graph.Vertex][]int32)
+	for w := range targets {
+		if _, ok := settled[w]; !ok {
+			continue
+		}
+		var arcs []int32
+		for y := w; parent[y] != graph.NoVertex; y = parent[y] {
+			arcs = append(arcs, parArc[y])
+		}
+		witArcs[w] = arcs
+	}
+	return settled, witArcs
+}

@@ -1,0 +1,301 @@
+package ch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/fed"
+	"repro/internal/graph"
+)
+
+// Index serialization splits along the privacy boundary, so a deployment can
+// persist and ship the index without moving private data:
+//
+//   - WritePublic stores the shared structure: ranks, shortcut arcs (tails,
+//     heads, via vertices, children) and the witness skip records. This part
+//     is identical at every silo — it contains no weights.
+//   - WriteSiloWeights stores ONE silo's private partial weight shard; each
+//     silo persists only its own.
+//   - LoadIndex reassembles an index from the public part plus all shards
+//     (the simulation holds all shards in one process; a real deployment
+//     would load one per silo).
+//
+// The format is little-endian binary with a magic header and version.
+
+const (
+	indexMagic   = 0x46524f41 // "FROA"
+	indexVersion = 1
+	shardMagic   = 0x46525348 // "FRSH"
+)
+
+type binWriter struct {
+	w *bufio.Writer
+}
+
+func (cw *binWriter) u32(v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := cw.w.Write(b[:])
+	return err
+}
+
+func (cw *binWriter) i64(v int64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	_, err := cw.w.Write(b[:])
+	return err
+}
+
+type reader struct {
+	r *bufio.Reader
+}
+
+func (rd *reader) u32() (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(rd.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (rd *reader) i64() (int64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(rd.r, b[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+// WritePublic serializes the weight-free shared structure of the index.
+func (x *Index) WritePublic(w io.Writer) error {
+	cw := &binWriter{w: bufio.NewWriter(w)}
+	n := len(x.rank)
+	m := len(x.tail)
+	hdr := []uint32{indexMagic, indexVersion, uint32(n), uint32(m), uint32(x.numBase)}
+	for _, v := range hdr {
+		if err := cw.u32(v); err != nil {
+			return err
+		}
+	}
+	for _, r := range x.rank {
+		if err := cw.u32(uint32(r)); err != nil {
+			return err
+		}
+	}
+	for a := 0; a < m; a++ {
+		for _, v := range []uint32{
+			uint32(x.tail[a]), uint32(x.head[a]), uint32(int32(x.via[a])),
+			uint32(x.childA[a]), uint32(x.childB[a]),
+		} {
+			if err := cw.u32(v); err != nil {
+				return err
+			}
+		}
+	}
+	// Skip records (needed to keep dynamic updates working after reload).
+	for v := 0; v < n; v++ {
+		recs := x.hs.skips[v]
+		if err := cw.u32(uint32(len(recs))); err != nil {
+			return err
+		}
+		for _, r := range recs {
+			if err := cw.u32(uint32(r.u)); err != nil {
+				return err
+			}
+			if err := cw.u32(uint32(r.w)); err != nil {
+				return err
+			}
+			if err := cw.u32(uint32(len(r.witnessArcs))); err != nil {
+				return err
+			}
+			for _, a := range r.witnessArcs {
+				if err := cw.u32(uint32(a)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return cw.w.Flush()
+}
+
+// WriteSiloWeights serializes silo p's private partial weight shard.
+func (x *Index) WriteSiloWeights(p int, w io.Writer) error {
+	if p < 0 || p >= len(x.siloW) {
+		return fmt.Errorf("ch: silo %d out of range", p)
+	}
+	cw := &binWriter{w: bufio.NewWriter(w)}
+	for _, v := range []uint32{shardMagic, indexVersion, uint32(p), uint32(len(x.siloW[p]))} {
+		if err := cw.u32(v); err != nil {
+			return err
+		}
+	}
+	for _, wt := range x.siloW[p] {
+		if err := cw.i64(wt); err != nil {
+			return err
+		}
+	}
+	return cw.w.Flush()
+}
+
+// LoadIndex reassembles an index for a federation from its public structure
+// and one weight shard per silo (shards[p] must be silo p's).
+func LoadIndex(f *fed.Federation, public io.Reader, shards []io.Reader) (*Index, error) {
+	if len(shards) != f.P() {
+		return nil, fmt.Errorf("ch: %d shards for %d silos", len(shards), f.P())
+	}
+	rd := &reader{r: bufio.NewReader(public)}
+	var hdr [5]uint32
+	for i := range hdr {
+		v, err := rd.u32()
+		if err != nil {
+			return nil, fmt.Errorf("ch: public header: %w", err)
+		}
+		hdr[i] = v
+	}
+	if hdr[0] != indexMagic {
+		return nil, fmt.Errorf("ch: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != indexVersion {
+		return nil, fmt.Errorf("ch: unsupported version %d", hdr[1])
+	}
+	n, m, numBase := int(hdr[2]), int(hdr[3]), int(hdr[4])
+	if n != f.Graph().NumVertices() {
+		return nil, fmt.Errorf("ch: index has %d vertices, federation graph has %d", n, f.Graph().NumVertices())
+	}
+	if numBase != f.Graph().NumArcs() || m < numBase {
+		return nil, fmt.Errorf("ch: arc counts inconsistent (%d base, %d overlay, graph %d)", numBase, m, f.Graph().NumArcs())
+	}
+	x := &Index{
+		f:          f,
+		rank:       make([]int32, n),
+		tail:       make([]graph.Vertex, m),
+		head:       make([]graph.Vertex, m),
+		via:        make([]graph.Vertex, m),
+		childA:     make([]int32, m),
+		childB:     make([]int32, m),
+		numBase:    numBase,
+		witnessCap: DefaultWitnessCap,
+	}
+	for v := 0; v < n; v++ {
+		r, err := rd.u32()
+		if err != nil {
+			return nil, err
+		}
+		x.rank[v] = int32(r)
+	}
+	x.hs = &hierarchyState{
+		outAll:   make([][]int32, n),
+		inAll:    make([][]int32, n),
+		skips:    make([][]skipRec, n),
+		viaIndex: make(map[graph.Vertex][]int32),
+		parents:  make(map[int32][]int32),
+	}
+	for a := 0; a < m; a++ {
+		vals := make([]uint32, 5)
+		for i := range vals {
+			v, err := rd.u32()
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		x.tail[a] = graph.Vertex(vals[0])
+		x.head[a] = graph.Vertex(vals[1])
+		x.via[a] = graph.Vertex(int32(vals[2]))
+		x.childA[a] = int32(vals[3])
+		x.childB[a] = int32(vals[4])
+		if int(x.tail[a]) >= n || int(x.head[a]) >= n {
+			return nil, fmt.Errorf("ch: arc %d endpoints out of range", a)
+		}
+		ai := int32(a)
+		x.hs.outAll[x.tail[a]] = append(x.hs.outAll[x.tail[a]], ai)
+		x.hs.inAll[x.head[a]] = append(x.hs.inAll[x.head[a]], ai)
+		if x.via[a] != NoShortcut {
+			if x.childA[a] < 0 || x.childA[a] >= ai || x.childB[a] < 0 || x.childB[a] >= ai {
+				return nil, fmt.Errorf("ch: shortcut %d has invalid children", a)
+			}
+			x.hs.viaIndex[x.via[a]] = append(x.hs.viaIndex[x.via[a]], ai)
+			x.hs.parents[x.childA[a]] = append(x.hs.parents[x.childA[a]], ai)
+			x.hs.parents[x.childB[a]] = append(x.hs.parents[x.childB[a]], ai)
+		}
+	}
+	for v := 0; v < n; v++ {
+		cnt, err := rd.u32()
+		if err != nil {
+			return nil, err
+		}
+		recs := make([]skipRec, cnt)
+		for i := range recs {
+			u, err := rd.u32()
+			if err != nil {
+				return nil, err
+			}
+			wv, err := rd.u32()
+			if err != nil {
+				return nil, err
+			}
+			na, err := rd.u32()
+			if err != nil {
+				return nil, err
+			}
+			if na > uint32(m) {
+				return nil, fmt.Errorf("ch: skip record with %d witness arcs", na)
+			}
+			arcs := make([]int32, na)
+			for j := range arcs {
+				av, err := rd.u32()
+				if err != nil {
+					return nil, err
+				}
+				if av >= uint32(m) {
+					return nil, fmt.Errorf("ch: witness arc %d out of range", av)
+				}
+				arcs[j] = int32(av)
+			}
+			recs[i] = skipRec{u: graph.Vertex(u), w: graph.Vertex(wv), witnessArcs: arcs}
+		}
+		x.hs.skips[v] = recs
+	}
+
+	// Shards.
+	x.siloW = make([][]int64, f.P())
+	for p := 0; p < f.P(); p++ {
+		srd := &reader{r: bufio.NewReader(shards[p])}
+		var shdr [4]uint32
+		for i := range shdr {
+			v, err := srd.u32()
+			if err != nil {
+				return nil, fmt.Errorf("ch: shard %d header: %w", p, err)
+			}
+			shdr[i] = v
+		}
+		if shdr[0] != shardMagic || shdr[1] != indexVersion {
+			return nil, fmt.Errorf("ch: shard %d bad magic/version", p)
+		}
+		if int(shdr[2]) != p {
+			return nil, fmt.Errorf("ch: shard for silo %d supplied at position %d", shdr[2], p)
+		}
+		if int(shdr[3]) != m {
+			return nil, fmt.Errorf("ch: shard %d covers %d arcs, index has %d", p, shdr[3], m)
+		}
+		ws := make([]int64, m)
+		for a := range ws {
+			v, err := srd.i64()
+			if err != nil {
+				return nil, err
+			}
+			ws[a] = v
+		}
+		x.siloW[p] = ws
+	}
+
+	x.upOut = make([][]int32, n)
+	x.downIn = make([][]int32, n)
+	for a := int32(0); a < int32(m); a++ {
+		x.addArcToQueryLists(a)
+	}
+	x.buildStats = BuildStats{Shortcuts: x.NumShortcuts()}
+	return x, nil
+}

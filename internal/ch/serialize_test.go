@@ -1,0 +1,165 @@
+package ch
+
+import (
+	"bytes"
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestIndexSerializationRoundTrip(t *testing.T) {
+	f, x := buildTestIndex(t, 8, 8, 61)
+
+	var public bytes.Buffer
+	if err := x.WritePublic(&public); err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]bytes.Buffer, f.P())
+	for p := 0; p < f.P(); p++ {
+		if err := x.WriteSiloWeights(p, &shards[p]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readers := make([]io.Reader, f.P())
+	for p := range readers {
+		readers[p] = &shards[p]
+	}
+	loaded, err := LoadIndex(f, &public, readers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.NumArcs() != x.NumArcs() || loaded.NumShortcuts() != x.NumShortcuts() {
+		t.Fatalf("size mismatch after reload: %d/%d arcs, %d/%d shortcuts",
+			loaded.NumArcs(), x.NumArcs(), loaded.NumShortcuts(), x.NumShortcuts())
+	}
+	for a := int32(0); a < int32(x.NumArcs()); a++ {
+		if x.Tail(a) != loaded.Tail(a) || x.Head(a) != loaded.Head(a) || x.Via(a) != loaded.Via(a) {
+			t.Fatalf("arc %d structure changed", a)
+		}
+		for p := 0; p < f.P(); p++ {
+			if x.SiloWeight(p, a) != loaded.SiloWeight(p, a) {
+				t.Fatalf("arc %d silo %d weight changed", a, p)
+			}
+		}
+	}
+	for v := graph.Vertex(0); int(v) < f.Graph().NumVertices(); v++ {
+		if x.Rank(v) != loaded.Rank(v) {
+			t.Fatalf("rank of %d changed", v)
+		}
+	}
+
+	// Queries on the reloaded index stay exact.
+	joint := f.JointWeights()
+	rng := rand.New(rand.NewPCG(2, 2))
+	for trial := 0; trial < 30; trial++ {
+		s := graph.Vertex(rng.IntN(f.Graph().NumVertices()))
+		tt := graph.Vertex(rng.IntN(f.Graph().NumVertices()))
+		want, _ := graph.DijkstraTo(f.Graph(), joint, s, tt)
+		if got := chQueryJoint(loaded, s, tt); got != want {
+			t.Fatalf("reloaded index: dist(%d,%d) = %d, want %d", s, tt, got, want)
+		}
+	}
+}
+
+func TestReloadedIndexSupportsUpdates(t *testing.T) {
+	f, x := buildTestIndex(t, 7, 7, 67)
+	var public bytes.Buffer
+	if err := x.WritePublic(&public); err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]io.Reader, f.P())
+	for p := 0; p < f.P(); p++ {
+		var b bytes.Buffer
+		if err := x.WriteSiloWeights(p, &b); err != nil {
+			t.Fatal(err)
+		}
+		shards[p] = &b
+	}
+	loaded, err := LoadIndex(f, &public, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dynamic update on the reloaded index: change weights, update, verify.
+	g := f.Graph()
+	rng := rand.New(rand.NewPCG(3, 3))
+	var changed []graph.Arc
+	for _, ai := range rng.Perm(g.NumArcs())[:g.NumArcs()/10] {
+		a := graph.Arc(ai)
+		changed = append(changed, a)
+		for p := 0; p < f.P(); p++ {
+			f.Silo(p).SetWeight(a, f.StaticWeights()[a]+int64(rng.IntN(20000))+1)
+		}
+	}
+	if _, err := loaded.Update(changed); err != nil {
+		t.Fatal(err)
+	}
+	joint := f.JointWeights()
+	for trial := 0; trial < 25; trial++ {
+		s := graph.Vertex(rng.IntN(g.NumVertices()))
+		tt := graph.Vertex(rng.IntN(g.NumVertices()))
+		want, _ := graph.DijkstraTo(g, joint, s, tt)
+		if got := chQueryJoint(loaded, s, tt); got != want {
+			t.Fatalf("post-update reloaded index: dist(%d,%d) = %d, want %d", s, tt, got, want)
+		}
+	}
+}
+
+func TestLoadIndexRejectsCorruptInput(t *testing.T) {
+	f, x := buildTestIndex(t, 6, 6, 71)
+	var public bytes.Buffer
+	if err := x.WritePublic(&public); err != nil {
+		t.Fatal(err)
+	}
+	goodPublic := public.Bytes()
+
+	shard := func(p int) []byte {
+		var b bytes.Buffer
+		if err := x.WriteSiloWeights(p, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	goodShards := [][]byte{shard(0), shard(1), shard(2)}
+	load := func(pub []byte, sh [][]byte) error {
+		rs := make([]io.Reader, len(sh))
+		for i := range sh {
+			rs[i] = bytes.NewReader(sh[i])
+		}
+		_, err := LoadIndex(f, bytes.NewReader(pub), rs)
+		return err
+	}
+
+	if err := load(goodPublic, goodShards); err != nil {
+		t.Fatalf("good input rejected: %v", err)
+	}
+	if err := load(goodPublic[:8], goodShards); err == nil {
+		t.Fatal("truncated public part accepted")
+	}
+	bad := append([]byte{}, goodPublic...)
+	bad[0] ^= 0xff // corrupt magic
+	if err := load(bad, goodShards); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+	if err := load(goodPublic, [][]byte{goodShards[0], goodShards[1]}); err == nil {
+		t.Fatal("missing shard accepted")
+	}
+	// Shards in the wrong order carry the wrong silo IDs.
+	if err := load(goodPublic, [][]byte{goodShards[1], goodShards[0], goodShards[2]}); err == nil {
+		t.Fatal("swapped shards accepted")
+	}
+	if err := load(goodPublic, [][]byte{goodShards[0], goodShards[1], goodShards[2][:10]}); err == nil {
+		t.Fatal("truncated shard accepted")
+	}
+}
+
+func TestWriteSiloWeightsRange(t *testing.T) {
+	_, x := buildTestIndex(t, 5, 5, 73)
+	var b bytes.Buffer
+	if err := x.WriteSiloWeights(99, &b); err == nil {
+		t.Fatal("out-of-range silo accepted")
+	}
+}

@@ -1,0 +1,215 @@
+package ch
+
+import (
+	"container/heap"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+)
+
+// UpdateStats reports the cost of one dynamic index update.
+type UpdateStats struct {
+	ChangedArcs         int
+	RecomputedShortcuts int // shortcut weights refreshed by propagation
+	ReverifiedVertices  int // contraction decisions re-examined
+	AddedShortcuts      int // shortcuts added by re-verification
+	SAC                 mpc.Stats
+	WallTime            time.Duration
+}
+
+// Update refreshes the index after the silos changed their private weights
+// of the given base arcs (§IV, Federated Index Updating). Three steps:
+//
+//  1. refresh the partial weights of the changed base arcs from the silos;
+//  2. propagate weight recomputation bottom-up through the shortcuts whose
+//     via paths depend on an affected arc (pure local computation: each
+//     silo recomputes its own partial sums);
+//  3. re-verify the contraction decisions whose inputs changed — the via
+//     arcs incident to a re-weighted arc's lower-ranked endpoint, and the
+//     recorded witness paths that used an affected arc — adding any newly
+//     required shortcuts (with federated witness searches through Fed-SAC)
+//     and cascading to higher ranks.
+//
+// Shortcuts are never removed: a now-redundant shortcut still carries the
+// exact cost of a real path, so query correctness is unaffected; the index
+// merely stays slightly larger than a fresh rebuild would be.
+//
+// Cost: for the paper's workload — small random fractions of edges
+// re-weighted (Table II) — an update is far cheaper than reconstruction.
+// Adversarial changes that re-weight an entire top-of-hierarchy corridor can
+// invalidate so many witness decisions that re-verification exceeds a
+// rebuild; callers can compare UpdateStats.SAC against BuildStatistics().SAC
+// and rebuild when updates trend that way.
+func (x *Index) Update(changed []graph.Arc) (UpdateStats, error) {
+	start := time.Now()
+	before := x.f.Engine().Stats()
+	stats := UpdateStats{ChangedArcs: len(changed)}
+	p := x.f.P()
+
+	// Step 1 — refresh base arc partials.
+	affected := make(map[int32]bool)
+	for _, a := range changed {
+		ai := int32(a)
+		for s := 0; s < p; s++ {
+			nw := x.f.Silo(s).Weight(a)
+			if x.siloW[s][ai] != nw {
+				x.siloW[s][ai] = nw
+				affected[ai] = true
+			}
+		}
+	}
+
+	// Step 2 — bottom-up propagation. Children always have smaller overlay
+	// arc IDs than the shortcuts built on them, so one ascending scan
+	// suffices.
+	for a := int32(x.numBase); a < int32(len(x.tail)); a++ {
+		if !affected[x.childA[a]] && !affected[x.childB[a]] {
+			continue
+		}
+		changedHere := false
+		for s := 0; s < p; s++ {
+			nw := x.siloW[s][x.childA[a]] + x.siloW[s][x.childB[a]]
+			if x.siloW[s][a] != nw {
+				x.siloW[s][a] = nw
+				changedHere = true
+			}
+		}
+		if changedHere {
+			affected[a] = true
+			stats.RecomputedShortcuts++
+		}
+	}
+
+	// Step 3 — re-verification, cascading upward in rank order.
+	witOwners := x.witnessOwnerIndex()
+	queue := &vertexRankHeap{x: x}
+	enqueued := make(map[graph.Vertex]bool)
+	push := func(v graph.Vertex) {
+		if !enqueued[v] {
+			enqueued[v] = true
+			heap.Push(queue, v)
+		}
+	}
+	seed := func(a int32) {
+		u, w := x.tail[a], x.head[a]
+		if x.rank[u] < x.rank[w] {
+			push(u)
+		} else {
+			push(w)
+		}
+		for _, owner := range witOwners[a] {
+			push(owner)
+		}
+	}
+	for a := range affected {
+		seed(a)
+	}
+
+	sac := x.f.NewSAC()
+	done := make(map[graph.Vertex]bool)
+	for queue.Len() > 0 {
+		v := heap.Pop(queue).(graph.Vertex)
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		stats.ReverifiedVertices++
+		// Snapshot the weights of v's shortcuts so only genuinely changed
+		// arcs feed the cascade (re-seeding unchanged shortcuts would
+		// balloon re-verification far past a rebuild).
+		beforeW := make(map[int32][]int64)
+		for _, a := range x.hs.viaIndex[v] {
+			ws := make([]int64, p)
+			for s := 0; s < p; s++ {
+				ws[s] = x.siloW[s][a]
+			}
+			beforeW[a] = ws
+		}
+		added := x.contract(sac, v, updateEligibility(x, x.rank[v]))
+		if err := sac.Err(); err != nil {
+			return stats, err
+		}
+		stats.AddedShortcuts += len(added)
+		// Newly added arcs and weight-changed refreshed shortcuts cascade.
+		newAffected := append([]int32{}, added...)
+		for _, a := range x.hs.viaIndex[v] {
+			old, ok := beforeW[a]
+			changed := !ok
+			for s := 0; !changed && s < p; s++ {
+				changed = old[s] != x.siloW[s][a]
+			}
+			if changed {
+				newAffected = append(newAffected, a)
+			}
+		}
+		for _, na := range newAffected {
+			// Propagate weight changes through dependents of na.
+			frontier := []int32{na}
+			for len(frontier) > 0 {
+				cur := frontier[0]
+				frontier = frontier[1:]
+				if !affected[cur] {
+					affected[cur] = true
+					seed(cur)
+				}
+				for _, parent := range x.hs.parents[cur] {
+					ch := false
+					for s := 0; s < p; s++ {
+						nw := x.siloW[s][x.childA[parent]] + x.siloW[s][x.childB[parent]]
+						if x.siloW[s][parent] != nw {
+							x.siloW[s][parent] = nw
+							ch = true
+						}
+					}
+					if ch && !affected[parent] {
+						stats.RecomputedShortcuts++
+						frontier = append(frontier, parent)
+					}
+				}
+			}
+		}
+		for _, a := range added {
+			x.addArcToQueryLists(a)
+		}
+	}
+
+	stats.SAC = x.f.Engine().Stats().Sub(before)
+	stats.WallTime = time.Since(start)
+	x.buildStats.Shortcuts = x.NumShortcuts()
+	return stats, nil
+}
+
+// witnessOwnerIndex maps each overlay arc to the contracted vertices whose
+// skip decision relied on it as part of a witness path.
+func (x *Index) witnessOwnerIndex() map[int32][]graph.Vertex {
+	idx := make(map[int32][]graph.Vertex)
+	for v, recs := range x.hs.skips {
+		for _, r := range recs {
+			for _, a := range r.witnessArcs {
+				idx[a] = append(idx[a], graph.Vertex(v))
+			}
+		}
+	}
+	return idx
+}
+
+// vertexRankHeap orders vertices by contraction rank (ascending) so that
+// re-verification cascades strictly upward.
+type vertexRankHeap struct {
+	x  *Index
+	vs []graph.Vertex
+}
+
+func (h *vertexRankHeap) Len() int { return len(h.vs) }
+func (h *vertexRankHeap) Less(i, j int) bool {
+	return h.x.rank[h.vs[i]] < h.x.rank[h.vs[j]]
+}
+func (h *vertexRankHeap) Swap(i, j int)      { h.vs[i], h.vs[j] = h.vs[j], h.vs[i] }
+func (h *vertexRankHeap) Push(v interface{}) { h.vs = append(h.vs, v.(graph.Vertex)) }
+func (h *vertexRankHeap) Pop() interface{} {
+	n := len(h.vs)
+	v := h.vs[n-1]
+	h.vs = h.vs[:n-1]
+	return v
+}

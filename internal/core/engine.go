@@ -1,0 +1,169 @@
+// Package core implements FedRoad's federated shortest-path query engines:
+// Fed-SSSP (Alg. 1, including kNN) and Fed-SPSP with the paper's full
+// optimization stack — bidirectional search, the federated shortcut index
+// (§IV), federated A* lower bounds (§V) and the TM-tree priority queue (§VI).
+//
+// Every cost comparison between secret joint values goes through Fed-SAC;
+// the engines never materialize a joint cost. Per-query statistics expose
+// the counters the paper's evaluation reports: settled vertices, secure
+// comparisons, communication bytes/rounds and the simulated network time.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ch"
+	"repro/internal/fed"
+	"repro/internal/graph"
+	"repro/internal/lb"
+	"repro/internal/mpc"
+	"repro/internal/pq"
+)
+
+// Options configures a query engine. The zero value is the paper's
+// Naive-Dijk baseline: flat bidirectional Dijkstra, binary heap, no
+// estimator.
+type Options struct {
+	// Queue selects the priority-queue structure (default: binary heap).
+	Queue pq.Kind
+	// Alpha is the TM-tree balance factor (default 4, the paper's setting).
+	Alpha int
+	// Estimator selects the federated lower bound for A* pruning.
+	Estimator lb.Kind
+	// Landmarks must be pre-computed for the Fed-ALT / Fed-ALT-Max kinds.
+	Landmarks *lb.Landmarks
+	// Index enables hierarchical search over the federated shortcut index.
+	Index *ch.Index
+	// BatchedMPC executes the TM-tree's tournament-build comparisons as
+	// batched secure comparisons: one protocol instance (one set of
+	// communication rounds) per tournament level instead of one per
+	// comparison. Requires Queue == tm-tree.
+	BatchedMPC bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Queue == "" {
+		o.Queue = pq.KindHeap
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 4
+	}
+	if o.Estimator == "" {
+		o.Estimator = lb.None
+	}
+	return o
+}
+
+// comparator is the secure-comparison dependency of the search loops. In
+// production it is the federation's Fed-SAC handle; the test suite swaps in
+// recording/replaying comparators to make the paper's §VII simulation
+// argument executable (a query's entire behavior is a deterministic function
+// of the public topology and the comparison bits).
+type comparator interface {
+	Less(a, b fed.Partial) bool
+	LessBatch(pairs [][2]fed.Partial) []bool
+	Err() error
+}
+
+// Engine answers federated shortest-path queries for one federation.
+type Engine struct {
+	f   *fed.Federation
+	opt Options
+	// cmpHook, when set, wraps the per-query Fed-SAC handle (tests only).
+	cmpHook func(*fed.SAC) comparator
+}
+
+// NewEngine validates the option set and builds an engine.
+func NewEngine(f *fed.Federation, opt Options) (*Engine, error) {
+	opt = opt.withDefaults()
+	switch opt.Estimator {
+	case lb.None, lb.FedAMPS:
+	case lb.FedALT, lb.FedALTMax:
+		if opt.Landmarks == nil {
+			return nil, fmt.Errorf("core: estimator %s requires Options.Landmarks", opt.Estimator)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown estimator %q", opt.Estimator)
+	}
+	switch opt.Queue {
+	case pq.KindHeap, pq.KindLeftist, pq.KindTMTree:
+	default:
+		return nil, fmt.Errorf("core: unknown queue kind %q", opt.Queue)
+	}
+	if opt.Index != nil && opt.Index.Federation() != f {
+		return nil, fmt.Errorf("core: shortcut index belongs to a different federation")
+	}
+	if opt.BatchedMPC && opt.Queue != pq.KindTMTree {
+		return nil, fmt.Errorf("core: BatchedMPC requires the tm-tree queue, got %q", opt.Queue)
+	}
+	return &Engine{f: f, opt: opt}, nil
+}
+
+// Federation returns the engine's federation.
+func (e *Engine) Federation() *fed.Federation { return e.f }
+
+// QueryStats reports the cost of one query.
+type QueryStats struct {
+	SettledVertices int       // search iterations (paper: explored vertices)
+	SAC             mpc.Stats // Fed-SAC usage: comparisons, rounds, bytes, simulated net time
+	Queue           pq.Counts // priority-queue comparison breakdown (Fig. 12)
+	WallTime        time.Duration
+}
+
+// PathResult is a query answer. Partial is the per-silo partial cost vector
+// of the returned path — each entry is private to its silo; the joint cost
+// is their mean (callers in the evaluation harness may sum it, a real
+// deployment would not).
+type PathResult struct {
+	Target  graph.Vertex
+	Path    []graph.Vertex
+	Partial fed.Partial
+	Found   bool
+}
+
+// item is one frontier entry: a tentative path to v with per-silo partial
+// cost g and queue key g+π (π = federated lower bound of the remaining
+// distance). Entries are never decreased — duplicates are skipped at pop,
+// exactly as Alg. 1 keeps Q as a set of explored paths.
+type item struct {
+	v      graph.Vertex
+	key    fed.Partial
+	g      fed.Partial
+	parent graph.Vertex
+	parc   int32 // arc into v (base arc ID, or overlay arc ID in CH search)
+}
+
+type label struct {
+	g      fed.Partial
+	parent graph.Vertex
+	parc   int32
+}
+
+// newComparator builds the per-query comparator, honoring the test hook.
+func (e *Engine) newComparator(sac *fed.SAC) comparator {
+	if e.cmpHook != nil {
+		return e.cmpHook(sac)
+	}
+	return sac
+}
+
+// newQueue builds the configured priority queue over items with a Fed-SAC
+// comparator: every queue comparison is one secure comparison. With
+// BatchedMPC, the TM-tree additionally gets the batched Fed-SAC comparator
+// for its tournament builds.
+func (e *Engine) newQueue(sac comparator) pq.Queue[*item] {
+	less := func(a, b *item) bool { return sac.Less(a.key, b.key) }
+	if e.opt.BatchedMPC {
+		q := pq.NewTMTree[*item](less, e.opt.Alpha)
+		q.SetBatchLess(func(pairs [][2]*item) []bool {
+			ps := make([][2]fed.Partial, len(pairs))
+			for i, pr := range pairs {
+				ps[i] = [2]fed.Partial{pr[0].key, pr[1].key}
+			}
+			return sac.LessBatch(ps)
+		})
+		return q
+	}
+	return pq.New[*item](e.opt.Queue, less, e.opt.Alpha)
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fed"
+	"repro/internal/graph"
+	"repro/internal/lb"
+	"repro/internal/pq"
+)
+
+// expander abstracts the search graph: the flat road network for Naive-Dijk,
+// or the federated shortcut overlay for hierarchical search.
+type expander interface {
+	// arcs lists the relaxable arcs at v: forward expansion follows arcs
+	// out of v, backward expansion follows arcs into v.
+	arcs(v graph.Vertex, forward bool) []arcTo
+	// addWeight sets dst = src + w_p(arc) per silo.
+	addWeight(dst, src fed.Partial, arc int32)
+	// unpack expands an arc ID into its base-graph arc sequence.
+	unpack(arc int32) []graph.Arc
+}
+
+// arcTo is one relaxable arc: the neighbor it leads to (in search direction)
+// and its arc ID.
+type arcTo struct {
+	to  graph.Vertex
+	arc int32
+}
+
+// flatExpander searches the plain shared topology.
+type flatExpander struct {
+	f   *fed.Federation
+	buf []arcTo
+}
+
+func (x *flatExpander) arcs(v graph.Vertex, forward bool) []arcTo {
+	g := x.f.Graph()
+	x.buf = x.buf[:0]
+	if forward {
+		first := g.FirstOut(v)
+		for i, u := range g.OutNeighbors(v) {
+			x.buf = append(x.buf, arcTo{to: u, arc: int32(first) + int32(i)})
+		}
+	} else {
+		in, arcs := g.InNeighbors(v)
+		for i, u := range in {
+			x.buf = append(x.buf, arcTo{to: u, arc: int32(arcs[i])})
+		}
+	}
+	return x.buf
+}
+
+func (x *flatExpander) addWeight(dst, src fed.Partial, arc int32) {
+	for p := range dst {
+		dst[p] = src[p] + x.f.Silo(p).Weight(graph.Arc(arc))
+	}
+}
+
+func (x *flatExpander) unpack(arc int32) []graph.Arc { return []graph.Arc{graph.Arc(arc)} }
+
+// chExpander searches upward in the federated shortcut hierarchy: the
+// forward side relaxes arcs to higher-ranked heads, the backward side arcs
+// from higher-ranked tails.
+type chExpander struct {
+	f   *fed.Federation
+	idx indexView
+	buf []arcTo
+}
+
+// indexView is the slice of ch.Index the search needs (an interface so core
+// tests can fake it).
+type indexView interface {
+	UpOut(v graph.Vertex) []int32
+	DownIn(v graph.Vertex) []int32
+	Head(a int32) graph.Vertex
+	Tail(a int32) graph.Vertex
+	SiloWeight(p int, a int32) int64
+	UnpackArcs(a int32) []int32
+}
+
+func (x *chExpander) arcs(v graph.Vertex, forward bool) []arcTo {
+	x.buf = x.buf[:0]
+	if forward {
+		for _, a := range x.idx.UpOut(v) {
+			x.buf = append(x.buf, arcTo{to: x.idx.Head(a), arc: a})
+		}
+	} else {
+		for _, a := range x.idx.DownIn(v) {
+			x.buf = append(x.buf, arcTo{to: x.idx.Tail(a), arc: a})
+		}
+	}
+	return x.buf
+}
+
+func (x *chExpander) addWeight(dst, src fed.Partial, arc int32) {
+	for p := range dst {
+		dst[p] = src[p] + x.idx.SiloWeight(p, arc)
+	}
+}
+
+func (x *chExpander) unpack(arc int32) []graph.Arc {
+	base := x.idx.UnpackArcs(arc)
+	out := make([]graph.Arc, len(base))
+	for i, a := range base {
+		out[i] = graph.Arc(a)
+	}
+	return out
+}
+
+// side is one direction of the bidirectional search.
+type side struct {
+	forward bool
+	q       pq.Queue[*item]
+	settled map[graph.Vertex]*label
+	est     lb.Estimator
+	done    bool
+}
+
+// meeting records how the two searches touch: a forward-settled vertex, an
+// optional crossing arc, and a backward-settled vertex.
+type meeting struct {
+	fv       graph.Vertex
+	crossArc int32 // -1 when fv == bv
+	bv       graph.Vertex
+}
+
+// SPSP answers a federated single-pair shortest-path query. The search
+// strategy follows the engine options: flat bidirectional (Naive-Dijk) or
+// hierarchical over the shortcut index, optionally A*-guided by a federated
+// lower bound, with the configured priority queue. Termination is the
+// classic sound rule: a side stops once its queue minimum cannot beat the
+// best known joint cost μ (checked by Fed-SAC); the query stops when both
+// sides stopped.
+func (e *Engine) SPSP(s, t graph.Vertex) (PathResult, QueryStats, error) {
+	start := time.Now()
+	g := e.f.Graph()
+	if int(s) < 0 || int(s) >= g.NumVertices() || int(t) < 0 || int(t) >= g.NumVertices() {
+		return PathResult{}, QueryStats{}, fmt.Errorf("core: query (%d,%d) out of range", s, t)
+	}
+	if s == t {
+		return PathResult{Target: t, Path: []graph.Vertex{s}, Partial: e.f.ZeroPartial(), Found: true},
+			QueryStats{}, nil
+	}
+	rawSAC := e.f.NewSAC()
+	sac := e.newComparator(rawSAC)
+	before := e.f.Engine().Stats()
+
+	estF, estB, err := lb.NewPair(e.opt.Estimator, e.f, e.opt.Landmarks, rawSAC, s, t)
+	if err != nil {
+		return PathResult{}, QueryStats{}, err
+	}
+	var exp expander
+	if e.opt.Index != nil {
+		exp = &chExpander{f: e.f, idx: e.opt.Index}
+	} else {
+		exp = &flatExpander{f: e.f}
+	}
+
+	fwd := &side{forward: true, q: e.newQueue(sac), settled: make(map[graph.Vertex]*label), est: estF}
+	bwd := &side{forward: false, q: e.newQueue(sac), settled: make(map[graph.Vertex]*label), est: estB}
+	fwd.q.Push(&item{v: s, key: estF.Potential(s), g: e.f.ZeroPartial(), parent: graph.NoVertex, parc: -1})
+	bwd.q.Push(&item{v: t, key: estB.Potential(t), g: e.f.ZeroPartial(), parent: graph.NoVertex, parc: -1})
+
+	var mu fed.Partial
+	var meet meeting
+	updateMu := func(cand fed.Partial, m meeting) {
+		if mu == nil {
+			mu, meet = cand, m
+			return
+		}
+		if sac.Less(cand, mu) {
+			mu, meet = cand, m
+		}
+	}
+
+	settledTotal := 0
+	for turn := 0; !fwd.done || !bwd.done; turn++ {
+		sd, other := fwd, bwd
+		if turn%2 == 1 {
+			sd, other = bwd, fwd
+		}
+		if sd.done {
+			sd, other = other, sd
+		}
+		it, ok := sd.q.Pop()
+		if !ok {
+			sd.done = true
+			continue
+		}
+		if _, dup := sd.settled[it.v]; dup {
+			continue
+		}
+		// Sound stopping rule: the frontier minimum cannot beat μ.
+		if mu != nil && !sac.Less(it.key, mu) {
+			sd.done = true
+			continue
+		}
+		sd.settled[it.v] = &label{g: it.g, parent: it.parent, parc: it.parc}
+		settledTotal++
+		if lbl, both := other.settled[it.v]; both {
+			cand := fed.SumPartial(it.g, lbl.g)
+			m := meeting{fv: it.v, crossArc: -1, bv: it.v}
+			updateMu(cand, m)
+		}
+
+		var batch []*item
+		for _, at := range exp.arcs(it.v, sd.forward) {
+			if _, dup := sd.settled[at.to]; dup {
+				continue
+			}
+			ng := make(fed.Partial, e.f.P())
+			exp.addWeight(ng, it.g, at.arc)
+			if lbl, crossed := other.settled[at.to]; crossed {
+				cand := fed.SumPartial(ng, lbl.g)
+				var m meeting
+				if sd.forward {
+					m = meeting{fv: it.v, crossArc: at.arc, bv: at.to}
+				} else {
+					m = meeting{fv: at.to, crossArc: at.arc, bv: it.v}
+				}
+				updateMu(cand, m)
+			}
+			key := ng
+			if pot := sd.est.Potential(at.to); pot != nil {
+				key = fed.SumPartial(ng, pot)
+			}
+			batch = append(batch, &item{v: at.to, key: key, g: ng, parent: it.v, parc: at.arc})
+		}
+		sd.q.PushBatch(batch)
+		if err := sac.Err(); err != nil {
+			return PathResult{}, QueryStats{}, err
+		}
+	}
+
+	stats := QueryStats{
+		SettledVertices: settledTotal,
+		SAC:             e.f.Engine().Stats().Sub(before),
+		WallTime:        time.Since(start),
+	}
+	stats.Queue.Add(fwd.q.Counts())
+	stats.Queue.Add(bwd.q.Counts())
+
+	if mu == nil {
+		return PathResult{Target: t, Found: false}, stats, nil
+	}
+	path := e.reconstruct(exp, fwd.settled, bwd.settled, meet)
+	return PathResult{Target: t, Path: path, Partial: mu, Found: true}, stats, nil
+}
+
+// reconstruct expands the meeting record into the full base-graph vertex
+// path from s to t, unpacking shortcuts as needed.
+func (e *Engine) reconstruct(exp expander, fs, bs map[graph.Vertex]*label, m meeting) []graph.Vertex {
+	// Collect arc IDs of the forward chain s → fv (reversed during walk).
+	var fwdArcs []int32
+	for v := m.fv; ; {
+		lbl := fs[v]
+		if lbl.parent == graph.NoVertex {
+			break
+		}
+		fwdArcs = append(fwdArcs, lbl.parc)
+		v = lbl.parent
+	}
+	for i, j := 0, len(fwdArcs)-1; i < j; i, j = i+1, j-1 {
+		fwdArcs[i], fwdArcs[j] = fwdArcs[j], fwdArcs[i]
+	}
+	all := fwdArcs
+	if m.crossArc >= 0 {
+		all = append(all, m.crossArc)
+	}
+	// Backward chain bv → t: labels already point toward t.
+	for v := m.bv; ; {
+		lbl := bs[v]
+		if lbl.parent == graph.NoVertex {
+			break
+		}
+		all = append(all, lbl.parc)
+		v = lbl.parent
+	}
+
+	g := e.f.Graph()
+	var path []graph.Vertex
+	for _, a := range all {
+		for _, ba := range exp.unpack(a) {
+			if len(path) == 0 {
+				path = append(path, g.Tail(ba))
+			}
+			path = append(path, g.Head(ba))
+		}
+	}
+	if len(path) == 0 { // s == fv == bv == t handled earlier; degenerate guard
+		path = []graph.Vertex{m.fv}
+	}
+	return path
+}

@@ -1,0 +1,174 @@
+package expr
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/lb"
+	"repro/internal/pq"
+)
+
+// AlphaRow is one TM-tree balance factor's cost over the query mix.
+type AlphaRow struct {
+	Alpha  int
+	Counts pq.Counts
+	Avg    QueryMetrics
+}
+
+// RunAlphaAblation sweeps the TM-tree balance factor α (the paper fixes
+// α = 4; this ablation justifies the choice): smaller α merges more
+// aggressively (flatter list, cheaper pops, pricier merges), larger α the
+// reverse.
+func (h *Harness) RunAlphaAblation(alphas []int) ([]AlphaRow, error) {
+	if alphas == nil {
+		alphas = []int{2, 4, 8, 16}
+	}
+	env, err := h.Env(h.cfg.Datasets[0])
+	if err != nil {
+		return nil, err
+	}
+	groups := h.QueryGroups(env)
+	var rows []AlphaRow
+	for _, alpha := range alphas {
+		opt := core.Options{Index: env.Index, Estimator: lb.FedAMPS, Queue: pq.KindTMTree, Alpha: alpha}
+		var total pq.Counts
+		var all []QueryMetrics
+		for _, grp := range groups {
+			ms, err := h.runQueries(env, opt, grp.Queries)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range ms {
+				total.Add(m.Queue)
+			}
+			all = append(all, ms...)
+		}
+		rows = append(rows, AlphaRow{Alpha: alpha, Counts: total, Avg: average(all)})
+	}
+	return rows, nil
+}
+
+// PrintAlphaAblation renders the α sweep.
+func (h *Harness) PrintAlphaAblation(rows []AlphaRow) {
+	h.printf("\n== Ablation: TM-tree balance factor α (paper uses α=4) ==\n")
+	w := h.tab()
+	w.Write([]byte("alpha\tbuild\tmerge\tpop\ttotal cmps\tavg query time\n"))
+	for _, r := range rows {
+		w.Write([]byte(strconv.Itoa(r.Alpha) + "\t" +
+			strconv.FormatInt(r.Counts.Build, 10) + "\t" +
+			strconv.FormatInt(r.Counts.Merge, 10) + "\t" +
+			strconv.FormatInt(r.Counts.Pop, 10) + "\t" +
+			strconv.FormatInt(r.Counts.Total(), 10) + "\t" +
+			fmtDuration(r.Avg.Time) + "\n"))
+	}
+	w.Flush()
+}
+
+// LandmarkRow is one landmark-set size's end-to-end Fed-ALT-Max cost.
+type LandmarkRow struct {
+	Landmarks int
+	Avg       QueryMetrics
+	MatrixKB  int64 // per-silo Φ storage
+}
+
+// RunLandmarkAblation sweeps the landmark count for Fed-ALT-Max end-to-end:
+// more landmarks tighten the bound (fewer iterations) but grow the
+// pre-computed matrices — the space/efficiency trade-off of §V.
+func (h *Harness) RunLandmarkAblation(sizes []int) ([]LandmarkRow, error) {
+	if sizes == nil {
+		sizes = []int{8, 16, 32, 64}
+	}
+	env, err := h.Env(h.cfg.Datasets[0])
+	if err != nil {
+		return nil, err
+	}
+	groups := h.QueryGroups(env)
+	var rows []LandmarkRow
+	for _, k := range sizes {
+		if k > env.G.NumVertices()/2 {
+			k = env.G.NumVertices() / 2
+		}
+		lm := lb.PrecomputeLandmarks(env.Fed, lb.SelectLandmarks(env.G, env.W0, k, h.cfg.Seed))
+		opt := core.Options{Index: env.Index, Estimator: lb.FedALTMax, Landmarks: lm, Queue: pq.KindTMTree}
+		var all []QueryMetrics
+		for _, grp := range groups {
+			ms, err := h.runQueries(env, opt, grp.Queries)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, ms...)
+		}
+		rows = append(rows, LandmarkRow{
+			Landmarks: k,
+			Avg:       average(all),
+			MatrixKB:  int64(k) * int64(env.G.NumVertices()) * 8 / 1024,
+		})
+	}
+	return rows, nil
+}
+
+// PrintLandmarkAblation renders the landmark sweep.
+func (h *Harness) PrintLandmarkAblation(rows []LandmarkRow) {
+	h.printf("\n== Ablation: landmark count for Fed-ALT-Max (space vs pruning) ==\n")
+	w := h.tab()
+	w.Write([]byte("|L|\tavg #Fed-SAC\tavg settled\tavg query time\tΦ per silo\n"))
+	for _, r := range rows {
+		w.Write([]byte(strconv.Itoa(r.Landmarks) + "\t" +
+			strconv.FormatInt(r.Avg.Compares, 10) + "\t" +
+			strconv.Itoa(r.Avg.Settled) + "\t" +
+			fmtDuration(r.Avg.Time) + "\t" +
+			strconv.FormatInt(r.MatrixKB, 10) + "KB\n"))
+	}
+	w.Flush()
+}
+
+// EstimatorRow is one estimator's end-to-end query cost.
+type EstimatorRow struct {
+	Estimator string
+	Avg       QueryMetrics
+}
+
+// RunEstimatorAblation measures *end-to-end* query cost per lower-bound
+// method over the shortcut index (completing Fig. 11's accuracy story with
+// the communication dimension of the trade-off: Fed-ALT's per-estimation
+// secure comparisons wipe out its accuracy advantage, which is exactly why
+// the paper proposes Fed-ALT-Max and Fed-AMPS).
+func (h *Harness) RunEstimatorAblation() ([]EstimatorRow, error) {
+	env, err := h.Env(h.cfg.Datasets[0])
+	if err != nil {
+		return nil, err
+	}
+	groups := h.QueryGroups(env)
+	var rows []EstimatorRow
+	for _, kind := range []lb.Kind{lb.None, lb.FedALT, lb.FedALTMax, lb.FedAMPS} {
+		opt := core.Options{Index: env.Index, Estimator: kind, Queue: pq.KindTMTree}
+		if kind == lb.FedALT || kind == lb.FedALTMax {
+			opt.Landmarks = env.LM
+		}
+		var all []QueryMetrics
+		for _, grp := range groups {
+			ms, err := h.runQueries(env, opt, grp.Queries)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, ms...)
+		}
+		rows = append(rows, EstimatorRow{Estimator: string(kind), Avg: average(all)})
+	}
+	return rows, nil
+}
+
+// PrintEstimatorAblation renders the estimator sweep.
+func (h *Harness) PrintEstimatorAblation(rows []EstimatorRow) {
+	h.printf("\n== Ablation: end-to-end query cost per lower-bound estimator ==\n")
+	w := h.tab()
+	w.Write([]byte("estimator\tavg #Fed-SAC\tavg settled\tavg bytes\tavg query time\n"))
+	for _, r := range rows {
+		w.Write([]byte(r.Estimator + "\t" +
+			strconv.FormatInt(r.Avg.Compares, 10) + "\t" +
+			strconv.Itoa(r.Avg.Settled) + "\t" +
+			fmtBytes(r.Avg.Bytes) + "\t" +
+			fmtDuration(r.Avg.Time) + "\n"))
+	}
+	w.Flush()
+}

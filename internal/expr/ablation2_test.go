@@ -1,0 +1,129 @@
+package expr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAlphaAblation(t *testing.T) {
+	var out bytes.Buffer
+	h := tinyHarness(&out)
+	rows, err := h.RunAlphaAblation([]int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Counts.Total() == 0 || r.Avg.Compares == 0 {
+			t.Fatalf("alpha %d: empty metrics", r.Alpha)
+		}
+	}
+	h.PrintAlphaAblation(rows)
+	if !strings.Contains(out.String(), "balance factor") {
+		t.Fatal("missing output")
+	}
+}
+
+func TestLandmarkAblation(t *testing.T) {
+	var out bytes.Buffer
+	h := tinyHarness(&out)
+	rows, err := h.RunLandmarkAblation([]int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].MatrixKB <= rows[0].MatrixKB {
+		t.Fatal("matrix size should grow with landmark count")
+	}
+	// More landmarks = tighter bound = no more settled vertices on average.
+	if rows[1].Avg.Settled > rows[0].Avg.Settled+2 {
+		t.Fatalf("more landmarks settled more vertices: %d vs %d",
+			rows[1].Avg.Settled, rows[0].Avg.Settled)
+	}
+	h.PrintLandmarkAblation(rows)
+}
+
+func TestEstimatorAblation(t *testing.T) {
+	var out bytes.Buffer
+	h := tinyHarness(&out)
+	rows, err := h.RunEstimatorAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	get := func(name string) QueryMetrics {
+		for _, r := range rows {
+			if r.Estimator == name {
+				return r.Avg
+			}
+		}
+		t.Fatalf("estimator %s missing", name)
+		return QueryMetrics{}
+	}
+	// Fed-ALT spends |L|-1 comparisons per estimation: it must cost more
+	// secure comparisons end-to-end than Fed-ALT-Max (the paper's point).
+	if get("fed-alt").Compares <= get("fed-alt-max").Compares {
+		t.Fatalf("fed-alt (%d) should cost more comparisons than fed-alt-max (%d)",
+			get("fed-alt").Compares, get("fed-alt-max").Compares)
+	}
+	// Fed-AMPS must beat the no-estimator baseline.
+	if get("fed-amps").Compares >= get("none").Compares {
+		t.Fatalf("fed-amps (%d) should beat no estimator (%d)",
+			get("fed-amps").Compares, get("none").Compares)
+	}
+	h.PrintEstimatorAblation(rows)
+	if !strings.Contains(out.String(), "estimator") {
+		t.Fatal("missing output")
+	}
+}
+
+func TestBatchingAblation(t *testing.T) {
+	var out bytes.Buffer
+	h := tinyHarness(&out)
+	rows, err := h.RunBatchingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	seq, bat := rows[0].Avg, rows[1].Avg
+	if bat.Rounds >= seq.Rounds {
+		t.Fatalf("batched rounds %d not below sequential %d", bat.Rounds, seq.Rounds)
+	}
+	h.PrintBatchingAblation(rows)
+	if !strings.Contains(out.String(), "batched Fed-SAC") {
+		t.Fatal("missing output")
+	}
+}
+
+func TestIndexAblation(t *testing.T) {
+	var out bytes.Buffer
+	h := tinyHarness(&out)
+	rows, err := h.RunIndexAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// The tiny witness cap builds cheaper but with more shortcuts than the
+	// default edge-difference variant.
+	if rows[2].Shortcuts <= rows[0].Shortcuts {
+		t.Fatalf("tiny cap should add shortcuts: %d vs %d", rows[2].Shortcuts, rows[0].Shortcuts)
+	}
+	if rows[2].BuildSACs >= rows[0].BuildSACs {
+		t.Fatalf("tiny cap should cut build comparisons: %d vs %d", rows[2].BuildSACs, rows[0].BuildSACs)
+	}
+	h.PrintIndexAblation(rows)
+	if !strings.Contains(out.String(), "construction strategies") {
+		t.Fatal("missing output")
+	}
+}

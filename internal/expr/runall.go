@@ -1,0 +1,53 @@
+package expr
+
+import "fmt"
+
+// RunAll executes every experiment in the paper's order and prints each
+// table as it completes.
+func (h *Harness) RunAll() error {
+	rows1, err := h.RunFig1(0, 0)
+	if err != nil {
+		return fmt.Errorf("fig1: %w", err)
+	}
+	h.PrintFig1(rows1)
+
+	t1, err := h.RunTab1()
+	if err != nil {
+		return fmt.Errorf("tab1: %w", err)
+	}
+	h.PrintTab1(t1)
+
+	comp, err := h.RunComparative()
+	if err != nil {
+		return fmt.Errorf("comparative: %w", err)
+	}
+	h.PrintFig7(comp)
+	h.PrintFig8(comp)
+
+	scal, err := h.RunScalability(nil)
+	if err != nil {
+		return fmt.Errorf("fig9: %w", err)
+	}
+	h.PrintFig9(scal)
+
+	t2, err := h.RunTab2()
+	if err != nil {
+		return fmt.Errorf("tab2: %w", err)
+	}
+	h.PrintTab2(t2)
+
+	h.PrintFig10(h.RunFig10(comp))
+
+	f11, err := h.RunFig11(0)
+	if err != nil {
+		return fmt.Errorf("fig11: %w", err)
+	}
+	h.PrintFig11(f11)
+
+	f12, err := h.RunFig12()
+	if err != nil {
+		return fmt.Errorf("fig12: %w", err)
+	}
+	h.PrintFig12(f12)
+	return nil
+}

@@ -1,0 +1,115 @@
+package fed
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/traffic"
+)
+
+func testFederation(t *testing.T, p int, mode mpc.Mode) *Federation {
+	t.Helper()
+	g, w0 := graph.GenerateGrid(8, 8, 11)
+	sets := traffic.SiloWeights(w0, p, traffic.Moderate, 5)
+	f, err := New(g, w0, sets, mpc.Params{Mode: mode, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFederationBasics(t *testing.T) {
+	f := testFederation(t, 3, mpc.ModeIdeal)
+	if f.P() != 3 {
+		t.Fatalf("P = %d", f.P())
+	}
+	if f.Silo(1).ID() != 1 {
+		t.Fatal("silo id wrong")
+	}
+	if f.Graph().NumVertices() != 64 {
+		t.Fatal("graph lost")
+	}
+	if len(f.StaticWeights()) != f.Graph().NumArcs() {
+		t.Fatal("static weights lost")
+	}
+}
+
+func TestArcPartialAndJointWeights(t *testing.T) {
+	f := testFederation(t, 3, mpc.ModeIdeal)
+	joint := f.JointWeights()
+	for a := 0; a < f.Graph().NumArcs(); a += 7 {
+		part := f.ArcPartial(graph.Arc(a))
+		var sum int64
+		for p := 0; p < f.P(); p++ {
+			if part[p] != f.Silo(p).Weight(graph.Arc(a)) {
+				t.Fatalf("partial[%d] != silo weight at arc %d", p, a)
+			}
+			sum += part[p]
+		}
+		if sum != joint[a] {
+			t.Fatalf("joint weight mismatch at arc %d: %d != %d", a, sum, joint[a])
+		}
+	}
+}
+
+func TestSACMatchesPlaintext(t *testing.T) {
+	for _, mode := range []mpc.Mode{mpc.ModeIdeal, mpc.ModeProtocol} {
+		f := testFederation(t, 3, mode)
+		sac := f.NewSAC()
+		a := Partial{100, 200, 300} // joint 600
+		b := Partial{250, 250, 101} // joint 601
+		if !sac.Less(a, b) {
+			t.Fatalf("mode %v: 600 < 601 failed", mode)
+		}
+		if sac.Less(b, a) {
+			t.Fatalf("mode %v: 601 < 600 claimed", mode)
+		}
+		if sac.Less(a, a) {
+			t.Fatalf("mode %v: strict less of equal values", mode)
+		}
+		if sac.Err() != nil {
+			t.Fatal(sac.Err())
+		}
+		if sac.Stats().Compares != 3 {
+			t.Fatalf("mode %v: %d comparisons counted", mode, sac.Stats().Compares)
+		}
+	}
+}
+
+func TestPartialHelpers(t *testing.T) {
+	a := Partial{1, 2, 3}
+	b := Partial{10, 20, 30}
+	s := SumPartial(a, b)
+	if s[0] != 11 || s[2] != 33 {
+		t.Fatalf("SumPartial = %v", s)
+	}
+	c := ClonePartial(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Fatal("ClonePartial aliased")
+	}
+	AddPartial(a, b)
+	if a[0] != 11 || a[1] != 22 {
+		t.Fatalf("AddPartial = %v", a)
+	}
+	f := testFederation(t, 4, mpc.ModeIdeal)
+	z := f.ZeroPartial()
+	if len(z) != 4 || z[0] != 0 {
+		t.Fatalf("ZeroPartial = %v", z)
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	g, w0 := graph.GenerateGrid(4, 4, 1)
+	if _, err := New(g, w0, []graph.Weights{w0}, mpc.Params{}); err == nil {
+		t.Fatal("single silo accepted")
+	}
+	bad := make(graph.Weights, g.NumArcs())
+	if _, err := New(g, w0, []graph.Weights{w0, bad}, mpc.Params{}); err == nil {
+		t.Fatal("zero-weight silo accepted")
+	}
+	if _, err := New(g, bad, []graph.Weights{w0, w0}, mpc.Params{}); err == nil {
+		t.Fatal("bad static weights accepted")
+	}
+}

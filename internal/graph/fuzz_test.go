@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// FuzzReadFrom hardens the road-network parser: arbitrary input must either
+// parse into a graph consistent with what it declares or fail cleanly —
+// never panic.
+func FuzzReadFrom(f *testing.F) {
+	f.Add("p sp 2 1\na 0 1 7\n")
+	f.Add("c comment\np sp 3 2\nv 0 1.5 2.5\na 0 1 10\na 1 2 20\n")
+	f.Add("p sp 0 0\n")
+	f.Add("a 0 1 5\n")
+	f.Add("p sp 2 1\nv 0 nan inf\na 0 1 -5\n")
+	f.Add(strings.Repeat("p sp 1 0\n", 3))
+	f.Fuzz(func(t *testing.T, input string) {
+		g, w, err := ReadFrom(bytes.NewBufferString(input))
+		if err != nil {
+			return
+		}
+		if g.NumArcs() != len(w) {
+			t.Fatalf("parsed %d arcs but %d weights", g.NumArcs(), len(w))
+		}
+		for a := 0; a < g.NumArcs(); a++ {
+			u, v := g.Tail(Arc(a)), g.Head(Arc(a))
+			if int(u) >= g.NumVertices() || int(v) >= g.NumVertices() || u < 0 || v < 0 {
+				t.Fatalf("arc %d endpoints out of range", a)
+			}
+		}
+		// A parsed graph must survive a write/read round trip.
+		var buf bytes.Buffer
+		if err := WriteTo(&buf, g, w); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadFrom(&buf); err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+	})
+}
+
+// TestDijkstraTriangleInequality property-checks the metric structure of
+// shortest-path distances on random graphs: dist(s,t) ≤ dist(s,m)+dist(m,t).
+func TestDijkstraTriangleInequality(t *testing.T) {
+	g, w := GenerateRandomDirected(50, 200, 1000, 12345)
+	dists := make([][]int64, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		dists[v] = Dijkstra(g, w, Vertex(v)).Dist
+	}
+	f := func(sRaw, mRaw, tRaw uint8) bool {
+		n := g.NumVertices()
+		s, m, tt := int(sRaw)%n, int(mRaw)%n, int(tRaw)%n
+		dst := dists[s][tt]
+		via := dists[s][m] + dists[m][tt]
+		if dists[s][m] >= InfCost || dists[m][tt] >= InfCost {
+			return true
+		}
+		return dst <= via
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDijkstraPathCostsAgree property-checks that every extracted path's
+// cost equals the reported distance.
+func TestDijkstraPathCostsAgree(t *testing.T) {
+	g, w := GenerateRoadLike(200, 999)
+	res := Dijkstra(g, w, 0)
+	f := func(tRaw uint8) bool {
+		tt := Vertex(int(tRaw) % g.NumVertices())
+		if res.Dist[tt] >= InfCost {
+			return true
+		}
+		path := res.Path(tt)
+		c, err := PathCost(g, w, path)
+		return err == nil && c == res.Dist[tt]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJointWeightsLinearity property-checks Eq. 1/2: the joint cost of any
+// path equals the sum of the per-silo partial costs.
+func TestJointWeightsLinearity(t *testing.T) {
+	g, w0 := GenerateGrid(8, 8, 77)
+	sets := make([]Weights, 3)
+	for p := range sets {
+		sets[p] = make(Weights, len(w0))
+		for a := range w0 {
+			sets[p][a] = w0[a] + int64(p*100+a%7)
+		}
+	}
+	joint := JointWeights(sets)
+	res := Dijkstra(g, joint, 0)
+	f := func(tRaw uint8) bool {
+		tt := Vertex(int(tRaw) % g.NumVertices())
+		path := res.Path(tt)
+		if path == nil {
+			return true
+		}
+		var sum int64
+		for p := range sets {
+			c, err := PathCost(g, sets[p], path)
+			if err != nil {
+				return false
+			}
+			sum += c
+		}
+		jc, err := PathCost(g, joint, path)
+		return err == nil && sum == jc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTo serializes the graph and an optional weight set in a DIMACS-like
+// text format:
+//
+//	p sp <numVertices> <numArcs>
+//	v <id> <x> <y>          (one per vertex, only when coordinates exist)
+//	a <tail> <head> <weight> (one per arc, in arc-ID order; weight 0 if w nil)
+func WriteTo(wr io.Writer, g *Graph, w Weights) error {
+	bw := bufio.NewWriter(wr)
+	if _, err := fmt.Fprintf(bw, "p sp %d %d\n", g.NumVertices(), g.NumArcs()); err != nil {
+		return err
+	}
+	if g.HasCoordinates() {
+		for v := 0; v < g.NumVertices(); v++ {
+			if _, err := fmt.Fprintf(bw, "v %d %g %g\n", v, g.x[v], g.y[v]); err != nil {
+				return err
+			}
+		}
+	}
+	for a := 0; a < g.NumArcs(); a++ {
+		var wt int64
+		if w != nil {
+			wt = w[a]
+		}
+		if _, err := fmt.Fprintf(bw, "a %d %d %d\n", g.Tail(Arc(a)), g.Head(Arc(a)), wt); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom parses the format written by WriteTo. Arc IDs in the returned
+// graph match line order of the "a" records, so the returned weight set is
+// aligned. Comment lines starting with "c" are ignored, making standard
+// DIMACS .gr files loadable (with 0-based vertex IDs).
+func ReadFrom(rd io.Reader) (*Graph, Weights, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var b *Builder
+	var xs, ys []float64
+	var haveCoord bool
+	type rec struct {
+		u, v Vertex
+		w    int64
+	}
+	var arcs []rec
+	n, m := -1, -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		switch line[0] {
+		case 'p':
+			var kind string
+			if _, err := fmt.Sscanf(line, "p %s %d %d", &kind, &n, &m); err != nil {
+				return nil, nil, fmt.Errorf("graph: bad problem line %q: %w", line, err)
+			}
+			if n < 0 || m < 0 || n > 1<<28 {
+				return nil, nil, fmt.Errorf("graph: implausible problem line %q", line)
+			}
+			if b != nil {
+				return nil, nil, fmt.Errorf("graph: duplicate problem line")
+			}
+			b = NewBuilder(n)
+			xs = make([]float64, n)
+			ys = make([]float64, n)
+		case 'v':
+			var id int
+			var x, y float64
+			if _, err := fmt.Sscanf(line, "v %d %g %g", &id, &x, &y); err != nil {
+				return nil, nil, fmt.Errorf("graph: bad vertex line %q: %w", line, err)
+			}
+			if b == nil {
+				return nil, nil, fmt.Errorf("graph: vertex before problem line")
+			}
+			if id < 0 || id >= n {
+				return nil, nil, fmt.Errorf("graph: vertex id %d out of range", id)
+			}
+			xs[id], ys[id] = x, y
+			haveCoord = true
+		case 'a':
+			var u, v int
+			var wt int64
+			if _, err := fmt.Sscanf(line, "a %d %d %d", &u, &v, &wt); err != nil {
+				return nil, nil, fmt.Errorf("graph: bad arc line %q: %w", line, err)
+			}
+			if b == nil {
+				return nil, nil, fmt.Errorf("graph: arc before problem line")
+			}
+			if u < 0 || u >= n || v < 0 || v >= n {
+				return nil, nil, fmt.Errorf("graph: arc (%d,%d) out of range [0,%d)", u, v, n)
+			}
+			arcs = append(arcs, rec{Vertex(u), Vertex(v), wt})
+		default:
+			return nil, nil, fmt.Errorf("graph: unknown record %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if b == nil {
+		return nil, nil, fmt.Errorf("graph: missing problem line")
+	}
+	if m >= 0 && len(arcs) != m {
+		return nil, nil, fmt.Errorf("graph: problem line declares %d arcs, found %d", m, len(arcs))
+	}
+	if haveCoord {
+		b.SetCoordinates(xs, ys)
+	}
+	for _, r := range arcs {
+		b.AddArc(r.u, r.v)
+	}
+	g := b.Build()
+	// Builder may permute arcs into CSR order; re-derive weights by matching
+	// tails/heads in order. Because AddArc order is stable within a tail, the
+	// i-th arc with tail t in file order maps to the i-th CSR slot of t.
+	w := make(Weights, len(arcs))
+	next := make(map[Vertex]Arc, g.NumVertices())
+	for _, r := range arcs {
+		a, ok := next[r.u]
+		if !ok {
+			a = g.FirstOut(r.u)
+		}
+		w[a] = r.w
+		next[r.u] = a + 1
+	}
+	return g, w, nil
+}

@@ -1,0 +1,304 @@
+package mpc
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// The batched comparison runs k independent comparisons inside ONE
+// RoundsPerCompare-round protocol instance: input shares, masked openings,
+// circuit-level AND openings and result bits of all k instances travel in
+// the same frames. Communication rounds — the latency-dominated cost on real
+// networks — are paid once per batch instead of once per comparison.
+//
+// FedRoad uses this for the TM-tree's tournament build, whose level-wise
+// comparisons are independent by construction (§VI): a batch push of n items
+// costs n−1 comparisons in only ⌈log₂ n⌉ batched protocol instances.
+
+// RunCompareBatchParty executes one party's role for k comparisons at once.
+// diffs[i] is the party's private difference of instance i; tups[i] its
+// dealer tuple for instance i. Every party learns the k comparison bits.
+func RunCompareBatchParty(conn transport.Conn, rng *rand.Rand, diffs []int64, tups []CmpTuple) ([]bool, error) {
+	ud := make([]uint64, len(diffs))
+	for i, d := range diffs {
+		ud[i] = uint64(d)
+	}
+	return compareBatchParty(conn, rng, ud, tups)
+}
+
+func compareBatchParty(conn transport.Conn, rng *rand.Rand, diffs []uint64, tups []CmpTuple) ([]bool, error) {
+	me, n := conn.Party(), conn.N()
+	k := len(diffs)
+	if len(tups) != k {
+		return nil, fmt.Errorf("mpc: %d tuples for %d comparisons", len(tups), k)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+
+	// Round 1 — share all k inputs in one frame per peer.
+	frame := make([]byte, 8*k)
+	kept := make([]uint64, k)
+	peerFrames := make([][]byte, n)
+	for q := 0; q < n; q++ {
+		if q != me {
+			peerFrames[q] = make([]byte, 8*k)
+		}
+	}
+	for i, d := range diffs {
+		shares := ShareAdditive(rng, d, n)
+		kept[i] = shares[me]
+		for q := 0; q < n; q++ {
+			if q != me {
+				putU64(peerFrames[q][8*i:], shares[q])
+			}
+		}
+	}
+	for q := 0; q < n; q++ {
+		if q == me {
+			continue
+		}
+		if err := conn.Send(q, peerFrames[q]); err != nil {
+			return nil, fmt.Errorf("mpc: batch input share to %d: %w", q, err)
+		}
+	}
+	shareD := kept
+	for q := 0; q < n; q++ {
+		if q == me {
+			continue
+		}
+		msg, err := conn.Recv(q)
+		if err != nil {
+			return nil, fmt.Errorf("mpc: batch input share from %d: %w", q, err)
+		}
+		if len(msg) != 8*k {
+			return nil, fmt.Errorf("mpc: batch share frame size %d != %d", len(msg), 8*k)
+		}
+		for i := 0; i < k; i++ {
+			shareD[i] += getU64(msg[8*i:])
+		}
+	}
+
+	// Round 2 — masked openings C_i = D_i + R_i, all in one frame.
+	for i := 0; i < k; i++ {
+		putU64(frame[8*i:], shareD[i]+tups[i].RShare)
+	}
+	opened, err := broadcast(conn, frame)
+	if err != nil {
+		return nil, err
+	}
+	cs := make([]uint64, k)
+	for q := 0; q < n; q++ {
+		for i := 0; i < k; i++ {
+			cs[i] += getU64(opened[q][8*i:])
+		}
+	}
+
+	// Borrow circuits of all instances evaluated level-synchronously; the
+	// AND gates of a level are opened in one frame across instances.
+	gs := make([][]Bit, k)
+	ps := make([][]Bit, k)
+	for i := 0; i < k; i++ {
+		g := make([]Bit, NumLeaves)
+		p := make([]Bit, NumLeaves)
+		for b := 0; b < NumLeaves; b++ {
+			cb := Bit(cs[i]>>uint(b)) & 1
+			rb := tups[i].RBits[b]
+			if cb == 0 {
+				g[b] = rb
+			}
+			p[b] = rb
+			if me == 0 {
+				p[b] ^= 1 ^ cb
+			}
+		}
+		gs[i], ps[i] = g, p
+	}
+	triplesUsed := 0
+	for len(gs[0]) > 1 {
+		half := len(gs[0]) / 2
+		var xs, ys []Bit
+		var trip []BitTriple
+		for i := 0; i < k; i++ {
+			for pr := 0; pr < half; pr++ {
+				lo, hi := 2*pr, 2*pr+1
+				xs = append(xs, ps[i][hi], ps[i][hi])
+				ys = append(ys, gs[i][lo], ps[i][lo])
+			}
+			trip = append(trip, tups[i].Triples[triplesUsed:triplesUsed+2*half]...)
+		}
+		zs, err := andBatch(conn, me, xs, ys, trip)
+		if err != nil {
+			return nil, err
+		}
+		triplesUsed += 2 * half
+		off := 0
+		for i := 0; i < k; i++ {
+			ng := make([]Bit, 0, half+1)
+			np := make([]Bit, 0, half+1)
+			for pr := 0; pr < half; pr++ {
+				ng = append(ng, gs[i][2*pr+1]^zs[off+2*pr])
+				np = append(np, zs[off+2*pr+1])
+			}
+			if len(gs[i])%2 == 1 {
+				ng = append(ng, gs[i][len(gs[i])-1])
+				np = append(np, ps[i][len(ps[i])-1])
+			}
+			gs[i], ps[i] = ng, np
+			off += 2 * half
+		}
+	}
+
+	// Final round — open all k result bits in one packed frame.
+	resShares := make([]Bit, k)
+	for i := 0; i < k; i++ {
+		resShares[i] = tups[i].RBits[K-1] ^ gs[i][0]
+		if me == 0 {
+			resShares[i] ^= Bit(cs[i]>>(K-1)) & 1
+		}
+	}
+	resFrame := make([]byte, (k+7)/8)
+	packBits(resFrame, resShares)
+	openedBits, err := broadcast(conn, resFrame)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, k)
+	for i := 0; i < k; i++ {
+		var bit Bit
+		for q := 0; q < n; q++ {
+			bit ^= unpackBit(openedBits[q], i)
+		}
+		out[i] = bit == 1
+	}
+	return out, nil
+}
+
+// batchCost is the calibrated wire cost of one batched comparison run.
+type batchCost struct {
+	bytes int64
+	msgs  int64
+}
+
+// CompareBatch decides, for each instance i, whether Σ_p diffs[i][p] < 0 —
+// k secure comparisons in a single RoundsPerCompare-round protocol run.
+// In ideal mode the per-batch-size wire cost is calibrated lazily against
+// one protocol-mode execution and cached.
+func (e *Engine) CompareBatch(diffs [][]int64) ([]bool, error) {
+	k := len(diffs)
+	if k == 0 {
+		return nil, nil
+	}
+	for i, d := range diffs {
+		if len(d) != e.n {
+			return nil, fmt.Errorf("mpc: instance %d has %d inputs for %d parties", i, len(d), e.n)
+		}
+	}
+	cost, err := e.batchCostFor(k)
+	if err != nil {
+		return nil, err
+	}
+	var out []bool
+	switch e.mode {
+	case ModeIdeal:
+		out = make([]bool, k)
+		for i, d := range diffs {
+			var sum int64
+			for _, v := range d {
+				sum += v
+			}
+			out[i] = sum < 0
+		}
+	case ModeProtocol:
+		out, err = e.runBatchProtocol(diffs)
+		if err != nil {
+			return nil, err
+		}
+		e.mem.ResetStats()
+	default:
+		return nil, fmt.Errorf("mpc: unknown mode %d", e.mode)
+	}
+	e.stats.Compares += int64(k)
+	e.stats.Rounds += int64(RoundsPerCompare)
+	e.stats.Bytes += cost.bytes
+	e.stats.Messages += cost.msgs
+	e.stats.SimNet += e.simNetFor(cost.bytes)
+	return out, nil
+}
+
+// simNetFor applies the paper's cost model to a protocol run's total bytes.
+func (e *Engine) simNetFor(totalBytes int64) time.Duration {
+	perParty := float64(totalBytes) / float64(e.n)
+	return time.Duration(float64(RoundsPerCompare)*float64(e.netm.Latency) +
+		perParty/e.netm.Bandwidth*float64(time.Second))
+}
+
+// batchCostFor returns (calibrating on first use) the wire cost of a k-batch.
+func (e *Engine) batchCostFor(k int) (batchCost, error) {
+	if c, ok := e.batchCosts[k]; ok {
+		return c, nil
+	}
+	// Calibration: run one protocol-mode batch of size k on zero inputs.
+	zero := make([][]int64, k)
+	for i := range zero {
+		zero[i] = make([]int64, e.n)
+	}
+	if _, err := e.runBatchProtocol(zero); err != nil {
+		return batchCost{}, fmt.Errorf("mpc: batch calibration (k=%d): %w", k, err)
+	}
+	st := e.mem.Stats()
+	c := batchCost{bytes: st.Bytes, msgs: st.Messages}
+	e.mem.ResetStats()
+	if e.batchCosts == nil {
+		e.batchCosts = make(map[int]batchCost)
+	}
+	e.batchCosts[k] = c
+	return c, nil
+}
+
+// runBatchProtocol executes one batched comparison across party goroutines.
+func (e *Engine) runBatchProtocol(diffs [][]int64) ([]bool, error) {
+	k := len(diffs)
+	tuples := make([][]CmpTuple, e.n) // [party][instance]
+	for p := 0; p < e.n; p++ {
+		tuples[p] = make([]CmpTuple, k)
+	}
+	for i := 0; i < k; i++ {
+		ts := e.dealer.CmpTuples()
+		for p := 0; p < e.n; p++ {
+			tuples[p][i] = ts[p]
+		}
+	}
+	results := make([][]bool, e.n)
+	errs := make([]error, e.n)
+	var wg sync.WaitGroup
+	for p := 0; p < e.n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ud := make([]uint64, k)
+			for i := 0; i < k; i++ {
+				ud[i] = uint64(diffs[i][p])
+			}
+			results[p], errs[p] = compareBatchParty(e.conns[p], e.rngs[p], ud, tuples[p])
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mpc: party %d: %w", p, err)
+		}
+	}
+	for p := 1; p < e.n; p++ {
+		for i := 0; i < k; i++ {
+			if results[p][i] != results[0][i] {
+				return nil, fmt.Errorf("mpc: parties disagree on batch instance %d", i)
+			}
+		}
+	}
+	return results[0], nil
+}

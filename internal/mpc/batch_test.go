@@ -1,0 +1,151 @@
+package mpc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestCompareBatchMatchesPlaintext(t *testing.T) {
+	for _, mode := range []Mode{ModeIdeal, ModeProtocol} {
+		for _, n := range []int{2, 3, 5} {
+			e, err := NewEngine(Params{Parties: n, Mode: mode, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(7, 7))
+			for _, k := range []int{1, 2, 3, 7, 16, 33} {
+				diffs := make([][]int64, k)
+				want := make([]bool, k)
+				for i := range diffs {
+					diffs[i] = make([]int64, n)
+					var sum int64
+					for p := range diffs[i] {
+						diffs[i][p] = rng.Int64N(1<<40) - (1 << 39)
+						sum += diffs[i][p]
+					}
+					want[i] = sum < 0
+				}
+				got, err := e.CompareBatch(diffs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("mode %v n=%d k=%d instance %d: got %v want %v",
+							mode, n, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompareBatchEdgeCases(t *testing.T) {
+	e, err := NewEngine(Params{Parties: 3, Mode: ModeProtocol, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.CompareBatch(nil)
+	if err != nil || out != nil {
+		t.Fatalf("empty batch: %v %v", out, err)
+	}
+	cases := [][]int64{
+		{0, 0, 0},                            // equal -> false (strict)
+		{-1, 0, 0},                           // barely less
+		{1, 0, 0},                            // barely greater
+		{1 << 44, -(1 << 44), -1},            // cancellation
+		{-(1 << 45), 1 << 44, (1 << 44) - 1}, // large magnitudes, sum -1
+	}
+	got, err := e.CompareBatch(cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("case %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := e.CompareBatch([][]int64{{1, 2}}); err == nil {
+		t.Fatal("mis-sized instance accepted")
+	}
+}
+
+func TestCompareBatchRoundEconomy(t *testing.T) {
+	// The whole point: a k-batch pays RoundsPerCompare rounds once, while k
+	// sequential comparisons pay it k times. Bytes stay roughly linear.
+	e, err := NewEngine(Params{Parties: 3, Mode: ModeIdeal, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 16
+	diffs := make([][]int64, k)
+	for i := range diffs {
+		diffs[i] = []int64{int64(i) - 8, 1, 1}
+	}
+	if _, err := e.CompareBatch(diffs); err != nil {
+		t.Fatal(err)
+	}
+	batchStats := e.Stats()
+	e.ResetStats()
+	for _, d := range diffs {
+		if _, err := e.Compare(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqStats := e.Stats()
+	if batchStats.Compares != seqStats.Compares {
+		t.Fatalf("comparison counts differ: %d vs %d", batchStats.Compares, seqStats.Compares)
+	}
+	if batchStats.Rounds*k != seqStats.Rounds {
+		t.Fatalf("batch rounds %d, sequential %d (want factor %d)",
+			batchStats.Rounds, seqStats.Rounds, k)
+	}
+	if batchStats.SimNet >= seqStats.SimNet/4 {
+		t.Fatalf("batching should slash simulated network time: %v vs %v",
+			batchStats.SimNet, seqStats.SimNet)
+	}
+	// Bytes within 2x of sequential (framing overhead shrinks, packing helps).
+	if batchStats.Bytes > seqStats.Bytes {
+		t.Fatalf("batch bytes %d exceed sequential %d", batchStats.Bytes, seqStats.Bytes)
+	}
+}
+
+func TestCompareBatchIdealAccountingMatchesProtocol(t *testing.T) {
+	mk := func(mode Mode) Stats {
+		e, err := NewEngine(Params{Parties: 3, Mode: mode, Seed: 19})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffs := [][]int64{{-5, 2, 2}, {7, -3, -3}, {1, 1, 1}}
+		if _, err := e.CompareBatch(diffs); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats()
+	}
+	if a, b := mk(ModeIdeal), mk(ModeProtocol); a != b {
+		t.Fatalf("batch stats diverge:\nideal:    %+v\nprotocol: %+v", a, b)
+	}
+}
+
+func TestCompareBatchOfOneMatchesSingle(t *testing.T) {
+	e, err := NewEngine(Params{Parties: 3, Mode: ModeProtocol, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 30; trial++ {
+		d := []int64{rng.Int64N(1001) - 500, rng.Int64N(1001) - 500, rng.Int64N(1001) - 500}
+		single, err := e.Compare(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := e.CompareBatch([][]int64{d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single != batch[0] {
+			t.Fatalf("trial %d: single %v != batch-of-one %v", trial, single, batch[0])
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package mpc
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/transport"
+)
+
+// RunCompareParty executes one party's role of the secure comparison over an
+// arbitrary transport (e.g. a TCP mesh spanning real processes): the party
+// contributes the private difference diff = a_p − b_p and learns only
+// whether Σ_p diff_p < 0. The party's tuple must come from the same dealer
+// batch as every other party's (the preprocessing phase). rng supplies the
+// party's local input-sharing randomness.
+func RunCompareParty(conn transport.Conn, rng *rand.Rand, diff int64, tup *CmpTuple) (bool, error) {
+	return compareParty(conn, rng, uint64(diff), tup)
+}
+
+// compareParty runs one party's role in the secure comparison protocol.
+// diff is the party's private input d_p; the protocol decides whether
+// D = Σ_p d_p (interpreted as a two's-complement signed value) is negative,
+// i.e. whether the first joint operand is smaller. Every party learns the
+// same single output bit.
+//
+// rng supplies this party's local randomness for input sharing; tup is this
+// party's slice of the dealer's correlated randomness.
+func compareParty(conn transport.Conn, rng *rand.Rand, diff uint64, tup *CmpTuple) (bool, error) {
+	me, n := conn.Party(), conn.N()
+
+	// Round 1 — input sharing: split diff into n additive shares, keep one,
+	// send one to each peer; accumulate peers' shares of their inputs.
+	// Afterwards shareD is this party's additive share of D.
+	myShares := ShareAdditive(rng, diff, n)
+	var buf8 [8]byte
+	for q := 0; q < n; q++ {
+		if q == me {
+			continue
+		}
+		putU64(buf8[:], myShares[q])
+		if err := conn.Send(q, buf8[:]); err != nil {
+			return false, fmt.Errorf("mpc: input share to %d: %w", q, err)
+		}
+	}
+	shareD := myShares[me]
+	for q := 0; q < n; q++ {
+		if q == me {
+			continue
+		}
+		msg, err := conn.Recv(q)
+		if err != nil {
+			return false, fmt.Errorf("mpc: input share from %d: %w", q, err)
+		}
+		shareD += getU64(msg)
+	}
+
+	// Round 2 — masked opening of C = D + R. Each party broadcasts its share
+	// of C; the sum is public and uniformly distributed (R is uniform).
+	shareC := shareD + tup.RShare
+	putU64(buf8[:], shareC)
+	opened, err := broadcast(conn, buf8[:])
+	if err != nil {
+		return false, err
+	}
+	c := uint64(0)
+	for q := 0; q < n; q++ {
+		c += getU64(opened[q])
+	}
+
+	// Borrow circuit over bits 0..K-2 of C − R. Locally derive the XOR shares
+	// of the generate/propagate pair of every bit from the public bits of C
+	// and the shared bits of R:
+	//
+	//	g_i = ¬c_i ∧ r_i          (borrow generated at bit i)
+	//	p_i = ¬(c_i ⊕ r_i)        (borrow propagated through bit i)
+	//
+	// Constants fold into party 0's share.
+	g := make([]Bit, NumLeaves)
+	p := make([]Bit, NumLeaves)
+	for i := 0; i < NumLeaves; i++ {
+		ci := Bit(c>>uint(i)) & 1
+		ri := tup.RBits[i]
+		if ci == 0 {
+			g[i] = ri
+		}
+		p[i] = ri
+		if me == 0 {
+			p[i] ^= 1 ^ ci
+		}
+	}
+
+	// Log-depth tree reduction of (g, p) segments, ascending significance:
+	// (G, P) = (g_hi ⊕ (p_hi ∧ g_lo), p_hi ∧ p_lo). Each level batches all
+	// its AND gates into one opening round.
+	triples := tup.Triples
+	for len(g) > 1 {
+		half := len(g) / 2
+		xs := make([]Bit, 0, 2*half)
+		ys := make([]Bit, 0, 2*half)
+		for k := 0; k < half; k++ {
+			lo, hi := 2*k, 2*k+1
+			xs = append(xs, p[hi], p[hi])
+			ys = append(ys, g[lo], p[lo])
+		}
+		if len(triples) < 2*half {
+			return false, fmt.Errorf("mpc: out of bit triples")
+		}
+		zs, err := andBatch(conn, me, xs, ys, triples[:2*half])
+		if err != nil {
+			return false, err
+		}
+		triples = triples[2*half:]
+		ng := make([]Bit, 0, half+1)
+		np := make([]Bit, 0, half+1)
+		for k := 0; k < half; k++ {
+			ng = append(ng, g[2*k+1]^zs[2*k])
+			np = append(np, zs[2*k+1])
+		}
+		if len(g)%2 == 1 { // odd element is most significant: stays last
+			ng = append(ng, g[len(g)-1])
+			np = append(np, p[len(p)-1])
+		}
+		g, p = ng, np
+	}
+
+	// Sign bit of D: d_{K-1} = c_{K-1} ⊕ r_{K-1} ⊕ borrow_{K-1}, where the
+	// borrow into the top bit is the tree's total generate G.
+	resShare := tup.RBits[K-1] ^ g[0]
+	if me == 0 {
+		resShare ^= Bit(c>>(K-1)) & 1
+	}
+
+	// Final round — open the comparison bit.
+	openedBits, err := broadcast(conn, []byte{resShare & 1})
+	if err != nil {
+		return false, err
+	}
+	var result Bit
+	for q := 0; q < n; q++ {
+		result ^= openedBits[q][0]
+	}
+	return result&1 == 1, nil
+}
+
+// andBatch evaluates z_i = x_i ∧ y_i over XOR-shared bit vectors using one
+// Beaver bit triple each and a single opening round. Masked values e = x ⊕ a
+// and f = y ⊕ b for the whole batch are packed into one broadcast frame.
+func andBatch(conn transport.Conn, me int, xs, ys []Bit, trip []BitTriple) ([]Bit, error) {
+	k := len(xs)
+	masked := make([]Bit, 2*k)
+	for i := 0; i < k; i++ {
+		masked[2*i] = (xs[i] ^ trip[i].A) & 1
+		masked[2*i+1] = (ys[i] ^ trip[i].B) & 1
+	}
+	frame := make([]byte, (2*k+7)/8)
+	packBits(frame, masked)
+	opened, err := broadcast(conn, frame)
+	if err != nil {
+		return nil, err
+	}
+	zs := make([]Bit, k)
+	for i := 0; i < k; i++ {
+		var e, f Bit
+		for q := 0; q < conn.N(); q++ {
+			e ^= unpackBit(opened[q], 2*i)
+			f ^= unpackBit(opened[q], 2*i+1)
+		}
+		z := trip[i].C ^ (f & trip[i].A) ^ (e & trip[i].B)
+		if me == 0 {
+			z ^= e & f
+		}
+		zs[i] = z & 1
+	}
+	return zs, nil
+}
+
+// broadcast sends data to every peer and collects every peer's frame for the
+// same round. The returned slice is indexed by party; the caller's own frame
+// sits at its own index.
+func broadcast(conn transport.Conn, data []byte) ([][]byte, error) {
+	me, n := conn.Party(), conn.N()
+	out := make([][]byte, n)
+	out[me] = data
+	for q := 0; q < n; q++ {
+		if q == me {
+			continue
+		}
+		if err := conn.Send(q, data); err != nil {
+			return nil, fmt.Errorf("mpc: broadcast to %d: %w", q, err)
+		}
+	}
+	for q := 0; q < n; q++ {
+		if q == me {
+			continue
+		}
+		msg, err := conn.Recv(q)
+		if err != nil {
+			return nil, fmt.Errorf("mpc: broadcast from %d: %w", q, err)
+		}
+		if len(msg) != len(data) {
+			return nil, fmt.Errorf("mpc: broadcast frame size mismatch from %d: %d != %d", q, len(msg), len(data))
+		}
+		out[q] = msg
+	}
+	return out, nil
+}

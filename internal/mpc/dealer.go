@@ -1,0 +1,104 @@
+package mpc
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+)
+
+// CmpTuple is one party's slice of the correlated randomness consumed by a
+// single secure comparison: an additive share of the mask R, XOR shares of
+// R's bits, and this party's shares of the Beaver bit triples the borrow
+// circuit consumes.
+type CmpTuple struct {
+	RShare  uint64
+	RBits   [K]Bit
+	Triples []BitTriple
+}
+
+// TriplesPerCompare is the number of Beaver bit triples one comparison
+// consumes: two ANDs per carry-combine node of a binary tree over NumLeaves
+// leaves.
+var TriplesPerCompare = 2 * combinesFor(NumLeaves)
+
+// combinesFor counts the combine nodes of a binary reduction tree.
+func combinesFor(leaves int) int {
+	total := 0
+	for leaves > 1 {
+		total += leaves / 2
+		leaves = leaves/2 + leaves%2
+	}
+	return total
+}
+
+// circuitLevels counts the rounds the borrow circuit needs.
+func circuitLevels(leaves int) int {
+	levels := 0
+	for leaves > 1 {
+		leaves = leaves/2 + leaves%2
+		levels++
+	}
+	return levels
+}
+
+// RoundsPerCompare is the number of communication rounds of one comparison:
+// input sharing, masked opening, one per circuit level, result opening.
+var RoundsPerCompare = 3 + circuitLevels(NumLeaves)
+
+// Dealer produces correlated randomness for the online protocol. It models
+// the offline/preprocessing phase of the underlying MPC stack (Temi's
+// threshold-HE preprocessing in the paper's implementation): a
+// non-colluding party that never sees inputs, outputs, or transcripts.
+//
+// A Dealer is deterministic in its seed, which keeps protocol-mode runs
+// reproducible. It is not safe for concurrent use.
+type Dealer struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewDealer creates a dealer for n parties with a deterministic ChaCha8
+// stream derived from seed.
+func NewDealer(n int, seed uint64) *Dealer {
+	if n < 2 {
+		panic("mpc: dealer needs at least 2 parties")
+	}
+	var key [32]byte
+	binary.LittleEndian.PutUint64(key[0:], seed)
+	binary.LittleEndian.PutUint64(key[8:], seed^0xa5a5a5a5a5a5a5a5)
+	binary.LittleEndian.PutUint64(key[16:], 0x466564526f616421) // "FedRoad!"
+	binary.LittleEndian.PutUint64(key[24:], ^seed)
+	return &Dealer{n: n, rng: rand.New(rand.NewChaCha8(key))}
+}
+
+// CmpTuples generates the per-party randomness for one comparison. The
+// returned slice has one tuple per party.
+func (d *Dealer) CmpTuples() []CmpTuple {
+	tuples := make([]CmpTuple, d.n)
+	for p := range tuples {
+		tuples[p].Triples = make([]BitTriple, TriplesPerCompare)
+	}
+
+	r := d.rng.Uint64()
+	rShares := ShareAdditive(d.rng, r, d.n)
+	for p := range tuples {
+		tuples[p].RShare = rShares[p]
+	}
+	for i := 0; i < K; i++ {
+		bitShares := ShareBit(d.rng, Bit(r>>i), d.n)
+		for p := range tuples {
+			tuples[p].RBits[i] = bitShares[p]
+		}
+	}
+	for t := 0; t < TriplesPerCompare; t++ {
+		a := Bit(d.rng.Uint64() & 1)
+		b := Bit(d.rng.Uint64() & 1)
+		c := a & b
+		as := ShareBit(d.rng, a, d.n)
+		bs := ShareBit(d.rng, b, d.n)
+		cs := ShareBit(d.rng, c, d.n)
+		for p := range tuples {
+			tuples[p].Triples[t] = BitTriple{A: as[p], B: bs[p], C: cs[p]}
+		}
+	}
+	return tuples
+}

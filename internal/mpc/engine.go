@@ -1,0 +1,230 @@
+package mpc
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Mode selects how the engine executes comparisons.
+type Mode int
+
+const (
+	// ModeIdeal evaluates the ideal functionality directly (same outputs as
+	// the protocol, no messages) and accounts communication analytically
+	// from a one-time protocol-mode calibration. The benchmark harness uses
+	// this mode so that large parameter sweeps stay tractable while byte,
+	// round and message counts remain exact.
+	ModeIdeal Mode = iota
+	// ModeProtocol runs the full secret-sharing protocol between party
+	// goroutines over an in-process network. Tests, examples and
+	// (optionally) benchmarks use this mode.
+	ModeProtocol
+)
+
+// NetworkModel carries the parameters of the paper's communication cost
+// model for a secure operation: R·(L + S/B) with R rounds, S bytes per round
+// per party, latency L and bandwidth B (§VIII-B).
+type NetworkModel struct {
+	Latency   time.Duration // one-way latency L
+	Bandwidth float64       // bytes per second B
+}
+
+// DefaultLAN mirrors the paper's testbed: ~0.2 ms LAN latency, 1 GB/s links.
+func DefaultLAN() NetworkModel {
+	return NetworkModel{Latency: 200 * time.Microsecond, Bandwidth: 1e9}
+}
+
+// Params configures an Engine.
+type Params struct {
+	Parties int
+	Mode    Mode
+	Seed    uint64 // deterministic randomness for dealer and parties
+	Net     NetworkModel
+}
+
+// Stats aggregates the cost of all comparisons executed by an engine.
+type Stats struct {
+	Compares int64         // secure comparisons executed
+	Rounds   int64         // communication rounds, summed over comparisons
+	Bytes    int64         // wire bytes, summed over all parties
+	Messages int64         // wire messages, summed over all parties
+	SimNet   time.Duration // simulated network time per the paper's cost model
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Compares += other.Compares
+	s.Rounds += other.Rounds
+	s.Bytes += other.Bytes
+	s.Messages += other.Messages
+	s.SimNet += other.SimNet
+}
+
+// Sub returns s minus other.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		Compares: s.Compares - other.Compares,
+		Rounds:   s.Rounds - other.Rounds,
+		Bytes:    s.Bytes - other.Bytes,
+		Messages: s.Messages - other.Messages,
+		SimNet:   s.SimNet - other.SimNet,
+	}
+}
+
+// Engine executes secure comparisons for a fixed set of parties. It is the
+// concrete carrier of the Fed-SAC operator: the federation layer feeds it
+// per-silo cost differences and receives only the joint comparison bit.
+//
+// An Engine is not safe for concurrent use.
+type Engine struct {
+	n      int
+	mode   Mode
+	netm   NetworkModel
+	dealer *Dealer
+	rngs   []*rand.Rand
+	mem    *transport.Mem
+	conns  []transport.Conn
+	stats  Stats
+
+	// calibrated per-comparison costs (identical for every comparison: the
+	// protocol's communication pattern is input-independent)
+	cmpBytes  int64
+	cmpMsgs   int64
+	cmpSimNet time.Duration
+
+	// per-batch-size calibrated costs for CompareBatch, filled lazily
+	batchCosts map[int]batchCost
+}
+
+// NewEngine creates an engine. It runs one calibration comparison in
+// protocol mode to measure the exact per-comparison wire cost.
+func NewEngine(p Params) (*Engine, error) {
+	if p.Parties < 2 {
+		return nil, fmt.Errorf("mpc: need at least 2 parties, got %d", p.Parties)
+	}
+	if p.Net.Bandwidth == 0 {
+		p.Net = DefaultLAN()
+	}
+	e := &Engine{n: p.Parties, mode: p.Mode, netm: p.Net, dealer: NewDealer(p.Parties, p.Seed)}
+	e.rngs = make([]*rand.Rand, e.n)
+	for i := range e.rngs {
+		e.rngs[i] = rand.New(rand.NewPCG(p.Seed+uint64(i)*0x9e3779b97f4a7c15, uint64(i)+1))
+	}
+	e.mem = transport.NewMem(e.n)
+	e.conns = make([]transport.Conn, e.n)
+	for i := range e.conns {
+		e.conns[i] = e.mem.Conn(i)
+	}
+
+	// Calibrate: one real protocol run, then zero the counters. The protocol
+	// is data-oblivious, so every later comparison costs exactly the same.
+	calib := make([]int64, e.n)
+	calib[0] = 1
+	if _, err := e.runProtocol(calib); err != nil {
+		return nil, fmt.Errorf("mpc: calibration failed: %w", err)
+	}
+	st := e.mem.Stats()
+	e.cmpBytes = st.Bytes
+	e.cmpMsgs = st.Messages
+	perPartyBytes := float64(st.Bytes) / float64(e.n)
+	e.cmpSimNet = time.Duration(float64(RoundsPerCompare)*float64(e.netm.Latency) +
+		perPartyBytes/e.netm.Bandwidth*float64(time.Second))
+	e.mem.ResetStats()
+	return e, nil
+}
+
+// N returns the number of parties.
+func (e *Engine) N() int { return e.n }
+
+// Mode returns the execution mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// PerCompareCost reports the calibrated per-comparison cost: total wire
+// bytes (all parties), rounds, and simulated network time.
+func (e *Engine) PerCompareCost() (bytes int64, rounds int, simNet time.Duration) {
+	return e.cmpBytes, RoundsPerCompare, e.cmpSimNet
+}
+
+// Compare decides whether Σ diffs < 0, where diffs[p] is party p's private
+// difference a_p − b_p. In terms of Fed-SAC: it returns [Σ a_p] < [Σ b_p],
+// revealing only that bit. |Σ diffs| must stay below MaxMagnitude.
+func (e *Engine) Compare(diffs []int64) (bool, error) {
+	if len(diffs) != e.n {
+		return false, fmt.Errorf("mpc: %d inputs for %d parties", len(diffs), e.n)
+	}
+	var result bool
+	switch e.mode {
+	case ModeIdeal:
+		var sum int64
+		for _, d := range diffs {
+			sum += d
+		}
+		result = sum < 0
+	case ModeProtocol:
+		var err error
+		result, err = e.runProtocol(diffs)
+		if err != nil {
+			return false, err
+		}
+		e.mem.ResetStats()
+	default:
+		return false, fmt.Errorf("mpc: unknown mode %d", e.mode)
+	}
+	e.stats.Compares++
+	e.stats.Rounds += int64(RoundsPerCompare)
+	e.stats.Bytes += e.cmpBytes
+	e.stats.Messages += e.cmpMsgs
+	e.stats.SimNet += e.cmpSimNet
+	return result, nil
+}
+
+// CompareSums is Fed-SAC in its natural form: partials a[p] and b[p] are the
+// per-party path costs; the result is whether the joint cost of a is
+// strictly smaller than the joint cost of b.
+func (e *Engine) CompareSums(a, b []int64) (bool, error) {
+	if len(a) != e.n || len(b) != e.n {
+		return false, fmt.Errorf("mpc: partial vectors sized %d/%d for %d parties", len(a), len(b), e.n)
+	}
+	diffs := make([]int64, e.n)
+	for p := range diffs {
+		diffs[p] = a[p] - b[p]
+	}
+	return e.Compare(diffs)
+}
+
+// runProtocol executes one full protocol comparison across party goroutines.
+func (e *Engine) runProtocol(diffs []int64) (bool, error) {
+	tuples := e.dealer.CmpTuples()
+	results := make([]bool, e.n)
+	errs := make([]error, e.n)
+	var wg sync.WaitGroup
+	for p := 0; p < e.n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			results[p], errs[p] = compareParty(e.conns[p], e.rngs[p], uint64(diffs[p]), &tuples[p])
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			return false, fmt.Errorf("mpc: party %d: %w", p, err)
+		}
+	}
+	for p := 1; p < e.n; p++ {
+		if results[p] != results[0] {
+			return false, fmt.Errorf("mpc: parties disagree on comparison result")
+		}
+	}
+	return results[0], nil
+}
+
+// Stats returns the accumulated cost counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the accumulated cost counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }

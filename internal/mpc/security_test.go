@@ -1,0 +1,248 @@
+package mpc
+
+import (
+	"math/rand/v2"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// recordingConn wraps a Conn and keeps every frame it sends, so tests can
+// inspect one party's view of the transcript.
+type recordingConn struct {
+	transport.Conn
+	sent [][]byte
+}
+
+func (r *recordingConn) Send(to int, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	r.sent = append(r.sent, cp)
+	return r.Conn.Send(to, data)
+}
+
+// runRecorded executes one comparison over an in-memory mesh with party 0's
+// outgoing frames recorded. Dealer and party randomness come from the given
+// seeds so runs are independently randomized.
+func runRecorded(t *testing.T, diffs []int64, dealerSeed, rngSeed uint64) (bool, [][]byte) {
+	t.Helper()
+	n := len(diffs)
+	mem := transport.NewMem(n)
+	tuples := NewDealer(n, dealerSeed).CmpTuples()
+	rec := &recordingConn{Conn: mem.Conn(0)}
+	results := make([]bool, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			conn := transport.Conn(mem.Conn(p))
+			if p == 0 {
+				conn = rec
+			}
+			rng := rand.New(rand.NewPCG(rngSeed+uint64(p), uint64(p)+9))
+			results[p], errs[p] = RunCompareParty(conn, rng, diffs[p], &tuples[p])
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 1; p < n; p++ {
+		if results[p] != results[0] {
+			t.Fatal("parties disagree")
+		}
+	}
+	return results[0], rec.sent
+}
+
+// TestTranscriptIsMasked: running the protocol twice on the *same inputs*
+// with fresh randomness must produce entirely different wire frames (except
+// the final 1-bit result opening) — the transcript is uniformly masked, so
+// an observer of one run learns nothing about the inputs.
+func TestTranscriptIsMasked(t *testing.T) {
+	diffs := []int64{123456, -99999, -30000}
+	res1, sent1 := runRecorded(t, diffs, 1, 100)
+	res2, sent2 := runRecorded(t, diffs, 2, 200)
+	if res1 != res2 {
+		t.Fatal("same inputs produced different comparison results")
+	}
+	if len(sent1) != len(sent2) {
+		t.Fatalf("frame counts differ: %d vs %d", len(sent1), len(sent2))
+	}
+	identical := 0
+	for i := range sent1 {
+		if len(sent1[i]) == len(sent2[i]) {
+			same := true
+			for j := range sent1[i] {
+				if sent1[i][j] != sent2[i][j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				identical++
+			}
+		}
+	}
+	// Only the trailing result-bit frames (n-1 of them, 1 byte each) may
+	// coincide by chance; every masked frame must differ.
+	if identical > len(diffs) {
+		t.Fatalf("%d of %d frames identical across independently masked runs", identical, len(sent1))
+	}
+}
+
+// TestInputSharesDoNotRevealInput: the shares party 0 sends in round 1 must
+// not equal its input, and must change across runs.
+func TestInputSharesDoNotRevealInput(t *testing.T) {
+	diffs := []int64{424242, 0, 0}
+	_, sent1 := runRecorded(t, diffs, 3, 300)
+	_, sent2 := runRecorded(t, diffs, 4, 400)
+	// Round 1 frames are the first n-1 sends, 8 bytes each.
+	for i := 0; i < 2; i++ {
+		v1 := getU64(sent1[i])
+		v2 := getU64(sent2[i])
+		if v1 == uint64(diffs[0]) || v2 == uint64(diffs[0]) {
+			t.Fatal("raw input appeared on the wire")
+		}
+		if v1 == v2 {
+			t.Fatal("input shares did not change across runs")
+		}
+	}
+}
+
+// TestComparisonResultDataIndependentCost: the wire cost must not depend on
+// the input values (data-obliviousness — a cost side channel would leak).
+func TestComparisonResultDataIndependentCost(t *testing.T) {
+	count := func(diffs []int64) int {
+		_, sent := runRecorded(t, diffs, 5, 500)
+		total := 0
+		for _, f := range sent {
+			total += len(f)
+		}
+		return total
+	}
+	a := count([]int64{0, 0, 0})
+	b := count([]int64{1 << 44, -(1 << 44), 12345})
+	if a != b {
+		t.Fatalf("wire bytes depend on inputs: %d vs %d", a, b)
+	}
+}
+
+// TestProtocolOverRealTCP runs the comparison across a real localhost TCP
+// mesh — the integration path a multi-machine deployment would use.
+func TestProtocolOverRealTCP(t *testing.T) {
+	const n = 3
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	tuples := NewDealer(n, 77).CmpTuples()
+	diffs := []int64{-500, 200, 200} // sum -100 < 0
+	results := make([]bool, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			conn, err := transport.DialMesh(p, n, addrs, 5*time.Second)
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			defer conn.Close()
+			rng := rand.New(rand.NewPCG(uint64(p)+50, 1))
+			results[p], errs[p] = RunCompareParty(conn, rng, diffs[p], &tuples[p])
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d: %v", p, err)
+		}
+	}
+	for p := 0; p < n; p++ {
+		if !results[p] {
+			t.Fatalf("party %d got false, want true", p)
+		}
+	}
+}
+
+// TestProtocolManyComparisonsOverTCP stresses frame ordering: many
+// back-to-back comparisons over the same mesh.
+func TestProtocolManyComparisonsOverTCP(t *testing.T) {
+	const n = 3
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	dealer := NewDealer(n, 78)
+	const rounds = 20
+	batches := make([][]CmpTuple, rounds)
+	inputs := make([][]int64, rounds)
+	wants := make([]bool, rounds)
+	rng := rand.New(rand.NewPCG(6, 6))
+	for r := 0; r < rounds; r++ {
+		batches[r] = dealer.CmpTuples()
+		inputs[r] = make([]int64, n)
+		var sum int64
+		for p := 0; p < n; p++ {
+			inputs[r][p] = rng.Int64N(2_000_001) - 1_000_000
+			sum += inputs[r][p]
+		}
+		wants[r] = sum < 0
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			conn, err := transport.DialMesh(p, n, addrs, 5*time.Second)
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			defer conn.Close()
+			prng := rand.New(rand.NewPCG(uint64(p)+60, 2))
+			for r := 0; r < rounds; r++ {
+				got, err := RunCompareParty(conn, prng, inputs[r][p], &batches[r][p])
+				if err != nil {
+					errs[p] = err
+					return
+				}
+				if got != wants[r] {
+					errs[p] = &mismatchError{round: r}
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d: %v", p, err)
+		}
+	}
+}
+
+type mismatchError struct{ round int }
+
+func (e *mismatchError) Error() string { return "comparison result mismatch" }

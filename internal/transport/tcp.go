@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPConn is a party endpoint over a real TCP mesh: one socket per peer pair,
+// length-prefixed frames. It satisfies Conn.
+type TCPConn struct {
+	id    int
+	n     int
+	peers []net.Conn // peers[j] is the socket to party j (nil at j==id)
+	rds   []*bufio.Reader
+	wmu   []sync.Mutex
+	bytes int64
+	msgs  int64
+	mu    sync.Mutex
+}
+
+// DialMesh establishes a full TCP mesh among n parties. addrs[i] is the
+// listen address of party i (e.g. "127.0.0.1:9001"). Party i accepts
+// connections from all j > i and dials all j < i; a 4-byte hello carrying the
+// dialer's party ID pairs sockets to parties. All parties must call DialMesh
+// concurrently. The timeout bounds the whole mesh setup.
+func DialMesh(id, n int, addrs []string, timeout time.Duration) (*TCPConn, error) {
+	if len(addrs) != n {
+		return nil, fmt.Errorf("transport: %d addrs for %d parties", len(addrs), n)
+	}
+	c := &TCPConn{
+		id:    id,
+		n:     n,
+		peers: make([]net.Conn, n),
+		rds:   make([]*bufio.Reader, n),
+		wmu:   make([]sync.Mutex, n),
+	}
+	deadline := time.Now().Add(timeout)
+
+	var ln net.Listener
+	if id < n-1 { // parties that accept at least one connection
+		var err error
+		ln, err = net.Listen("tcp", addrs[id])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
+		}
+		defer ln.Close()
+	}
+
+	errc := make(chan error, 2)
+	go func() { // accept from higher-numbered parties
+		need := n - 1 - id
+		if need == 0 {
+			errc <- nil
+			return
+		}
+		for i := 0; i < need; i++ {
+			if tl, ok := ln.(*net.TCPListener); ok {
+				tl.SetDeadline(deadline)
+			}
+			conn, err := ln.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("transport: accept: %w", err)
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				errc <- fmt.Errorf("transport: hello: %w", err)
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			if peer <= id || peer >= n {
+				errc <- fmt.Errorf("transport: bad hello from party %d", peer)
+				return
+			}
+			c.peers[peer] = conn
+			c.rds[peer] = bufio.NewReader(conn)
+		}
+		errc <- nil
+	}()
+	go func() { // dial lower-numbered parties
+		for j := 0; j < id; j++ {
+			var conn net.Conn
+			var err error
+			for {
+				d := net.Dialer{Deadline: deadline}
+				conn, err = d.Dial("tcp", addrs[j])
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					errc <- fmt.Errorf("transport: dial %s: %w", addrs[j], err)
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(id))
+			if _, err := conn.Write(hello[:]); err != nil {
+				errc <- fmt.Errorf("transport: hello write: %w", err)
+				return
+			}
+			c.peers[j] = conn
+			c.rds[j] = bufio.NewReader(conn)
+		}
+		errc <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *TCPConn) Party() int { return c.id }
+func (c *TCPConn) N() int     { return c.n }
+
+// Send writes a length-prefixed frame to party `to`.
+func (c *TCPConn) Send(to int, data []byte) error {
+	if to < 0 || to >= c.n || to == c.id || c.peers[to] == nil {
+		return fmt.Errorf("transport: invalid destination %d", to)
+	}
+	c.wmu[to].Lock()
+	defer c.wmu[to].Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := c.peers[to].Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.peers[to].Write(data); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.bytes += int64(len(data))
+	c.msgs++
+	c.mu.Unlock()
+	return nil
+}
+
+// Recv reads one frame from party `from`.
+func (c *TCPConn) Recv(from int) ([]byte, error) {
+	if from < 0 || from >= c.n || from == c.id || c.rds[from] == nil {
+		return nil, fmt.Errorf("transport: invalid source %d", from)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rds[from], hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[:])
+	if size > 1<<24 {
+		return nil, fmt.Errorf("transport: oversized frame %d", size)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(c.rds[from], data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Stats reports bytes/messages sent by this endpoint.
+func (c *TCPConn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Bytes: c.bytes, Messages: c.msgs}
+}
+
+// Close shuts down all peer sockets.
+func (c *TCPConn) Close() error {
+	var first error
+	for _, p := range c.peers {
+		if p != nil {
+			if err := p.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

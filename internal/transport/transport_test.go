@@ -1,0 +1,357 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemBasicExchange(t *testing.T) {
+	m := NewMem(3)
+	c0, c1, c2 := m.Conn(0), m.Conn(1), m.Conn(2)
+	if c0.Party() != 0 || c0.N() != 3 {
+		t.Fatalf("endpoint identity wrong: %d/%d", c0.Party(), c0.N())
+	}
+	if err := c0.Send(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Send(1, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c1.Recv(0)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Recv(0) = %q, %v", got, err)
+	}
+	got, err = c1.Recv(2)
+	if err != nil || string(got) != "world" {
+		t.Fatalf("Recv(2) = %q, %v", got, err)
+	}
+	st := m.Stats()
+	if st.Bytes != 10 || st.Messages != 2 {
+		t.Fatalf("stats = %+v, want 10 bytes / 2 messages", st)
+	}
+	m.ResetStats()
+	if st := m.Stats(); st.Bytes != 0 || st.Messages != 0 {
+		t.Fatalf("reset failed: %+v", st)
+	}
+}
+
+func TestMemFIFOPerPair(t *testing.T) {
+	m := NewMem(2)
+	c0, c1 := m.Conn(0), m.Conn(1)
+	for i := 0; i < 100; i++ {
+		if err := c0.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		got, err := c1.Recv(0)
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("message %d out of order: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestMemSendDoesNotAliasCallerBuffer(t *testing.T) {
+	m := NewMem(2)
+	c0, c1 := m.Conn(0), m.Conn(1)
+	buf := []byte{1, 2, 3}
+	if err := c0.Send(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99
+	got, _ := c1.Recv(0)
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("message corrupted by caller mutation: %v", got)
+	}
+}
+
+func TestMemInvalidEndpoints(t *testing.T) {
+	m := NewMem(2)
+	c0 := m.Conn(0)
+	if err := c0.Send(0, nil); err == nil {
+		t.Fatal("self-send accepted")
+	}
+	if err := c0.Send(5, nil); err == nil {
+		t.Fatal("out-of-range send accepted")
+	}
+	if _, err := c0.Recv(0); err == nil {
+		t.Fatal("self-recv accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Conn must panic")
+		}
+	}()
+	m.Conn(9)
+}
+
+func TestMemClose(t *testing.T) {
+	m := NewMem(2)
+	c0, c1 := m.Conn(0), m.Conn(1)
+	c0.Send(1, []byte("x"))
+	if err := c0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Buffered message still deliverable, then closed.
+	if got, err := c1.Recv(0); err != nil || string(got) != "x" {
+		t.Fatalf("buffered delivery after close: %q %v", got, err)
+	}
+	if _, err := c1.Recv(0); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := c0.Send(1, []byte("y")); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+	if err := c0.Close(); err != nil { // double close is fine
+		t.Fatal(err)
+	}
+}
+
+func TestMemConcurrentParties(t *testing.T) {
+	const n = 4
+	const rounds = 200
+	m := NewMem(n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			c := m.Conn(p)
+			for r := 0; r < rounds; r++ {
+				for q := 0; q < n; q++ {
+					if q != p {
+						if err := c.Send(q, []byte{byte(p), byte(r)}); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+				for q := 0; q < n; q++ {
+					if q == p {
+						continue
+					}
+					got, err := c.Recv(q)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got[0] != byte(q) || got[1] != byte(r) {
+						errs <- fmt.Errorf("party %d round %d: got %v from %d", p, r, got, q)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	st := m.Stats()
+	wantMsgs := int64(n * (n - 1) * rounds)
+	if st.Messages != wantMsgs {
+		t.Fatalf("messages = %d, want %d", st.Messages, wantMsgs)
+	}
+}
+
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	return addrs
+}
+
+func TestTCPMeshExchange(t *testing.T) {
+	const n = 3
+	addrs := freeAddrs(t, n)
+	conns := make([]*TCPConn, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := DialMesh(i, n, addrs, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			conns[i] = c
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	// Round-trip: every party sends a tagged frame to every other party.
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if q != p {
+				if err := conns[p].Send(q, []byte(fmt.Sprintf("msg-%d-%d", p, q))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for q := 0; q < n; q++ {
+		for p := 0; p < n; p++ {
+			if p == q {
+				continue
+			}
+			got, err := conns[q].Recv(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fmt.Sprintf("msg-%d-%d", p, q)
+			if string(got) != want {
+				t.Fatalf("party %d got %q from %d, want %q", q, got, p, want)
+			}
+		}
+	}
+	if st := conns[0].Stats(); st.Messages != n-1 {
+		t.Fatalf("party 0 sent %d messages, want %d", st.Messages, n-1)
+	}
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	conns := make([]*TCPConn, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := DialMesh(i, 2, addrs, 5*time.Second)
+			if err == nil {
+				conns[i] = c
+			}
+		}(i)
+	}
+	wg.Wait()
+	if conns[0] == nil || conns[1] == nil {
+		t.Fatal("mesh setup failed")
+	}
+	defer conns[0].Close()
+	defer conns[1].Close()
+
+	payload := make([]byte, 1<<16)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- conns[0].Send(1, payload)
+	}()
+	got, err := conns[1].Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large frame corrupted")
+	}
+}
+
+func TestTCPOversizedFrameRejected(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	conns := make([]*TCPConn, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := DialMesh(i, 2, addrs, 5*time.Second)
+			if err == nil {
+				conns[i] = c
+			}
+		}(i)
+	}
+	wg.Wait()
+	if conns[0] == nil || conns[1] == nil {
+		t.Fatal("mesh setup failed")
+	}
+	defer conns[0].Close()
+	defer conns[1].Close()
+	// Forge a frame header claiming 1 GiB directly on the socket.
+	raw := conns[0].peers[1]
+	hdr := []byte{0, 0, 0, 0x40} // 0x40000000 little-endian
+	if _, err := raw.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conns[1].Recv(0); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestTCPDialMeshValidation(t *testing.T) {
+	if _, err := DialMesh(0, 3, []string{"x"}, time.Second); err == nil {
+		t.Fatal("wrong addr count accepted")
+	}
+	// Nobody listening on the peer: the dial side must time out.
+	start := time.Now()
+	_, err := DialMesh(2, 3, []string{"127.0.0.1:1", "127.0.0.1:1", "127.0.0.1:0"}, 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("dial to dead peers succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout not honored")
+	}
+}
+
+func TestTCPSendRecvValidation(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	conns := make([]*TCPConn, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := DialMesh(i, 2, addrs, 5*time.Second)
+			if err == nil {
+				conns[i] = c
+			}
+		}(i)
+	}
+	wg.Wait()
+	if conns[0] == nil {
+		t.Fatal("mesh setup failed")
+	}
+	defer conns[0].Close()
+	defer conns[1].Close()
+	if err := conns[0].Send(0, nil); err == nil {
+		t.Fatal("self-send accepted")
+	}
+	if err := conns[0].Send(5, nil); err == nil {
+		t.Fatal("out-of-range send accepted")
+	}
+	if _, err := conns[0].Recv(0); err == nil {
+		t.Fatal("self-recv accepted")
+	}
+	if conns[0].Party() != 0 || conns[0].N() != 2 {
+		t.Fatal("identity wrong")
+	}
+}
