@@ -24,12 +24,16 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		dataset = flag.String("dataset", "", "named dataset (CAL-S, BJ-S, FLA-S)")
-		n       = flag.Int("n", 2000, "generated network size when no dataset is given")
-		silos   = flag.Int("silos", 3, "number of data silos")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		noIndex = flag.Bool("no-index", false, "skip building the shortcut index")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		dataset  = flag.String("dataset", "", "named dataset (CAL-S, BJ-S, FLA-S)")
+		n        = flag.Int("n", 2000, "generated network size when no dataset is given")
+		silos    = flag.Int("silos", 3, "number of data silos")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		noIndex  = flag.Bool("no-index", false, "skip building the shortcut index")
+		protocol = flag.Bool("protocol", false, "run the full MPC protocol per comparison (default: ideal mode with analytic cost accounting)")
+		maxConc  = flag.Int("max-concurrent", 0, "max in-flight queries (0 = 4x GOMAXPROCS)")
+		prepool  = flag.Int("prepool", 0, "preprocessing pool capacity in comparisons (0 = off)")
+		poolWkrs = flag.Int("prepool-workers", 1, "preprocessing pool replenisher goroutines")
 	)
 	flag.Parse()
 
@@ -41,11 +45,20 @@ func main() {
 		g, w0 = fedroad.GenerateRoadNetwork(*n, *seed)
 	}
 	silosW := fedroad.SimulateCongestion(w0, *silos, fedroad.Moderate, *seed+1)
-	fed, err := fedroad.New(g, w0, silosW, fedroad.Config{Seed: *seed})
+	cfg := fedroad.Config{
+		Seed:              *seed,
+		PreprocessPool:    *prepool,
+		PreprocessWorkers: *poolWkrs,
+	}
+	if *protocol {
+		cfg.Mode = fedroad.ModeProtocol
+	}
+	fed, err := fedroad.New(g, w0, silosW, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
 		os.Exit(1)
 	}
+	defer fed.Close()
 	log.Printf("federation: %d vertices, %d arcs, %d silos", g.NumVertices(), g.NumArcs(), *silos)
 	if !*noIndex {
 		start := time.Now()
@@ -56,7 +69,8 @@ func main() {
 		log.Printf("index: %d shortcuts in %v", fed.IndexStats().Shortcuts, time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := newServer(fed)
+	srv := newServer(fed, *maxConc)
+	log.Printf("serving up to %d concurrent queries", cap(srv.sem))
 	log.Printf("listening on http://%s", *addr)
 	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
 		log.Fatal(err)

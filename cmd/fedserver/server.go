@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	fedroad "repro"
@@ -19,16 +21,39 @@ import (
 //	GET  /stats
 //	GET  /healthz
 //
-// Queries run under a mutex: the underlying engines are not safe for
-// concurrent use, and traffic updates must not interleave with searches
-// (single-writer semantics a production gateway would enforce per
-// federation).
+// Queries run concurrently: each request checks out a query session (a
+// private MPC engine fork over the shared federation state) from a pool, so
+// N in-flight routes proceed in parallel while the federation's internal
+// reader/writer lock keeps traffic updates from ever interleaving with a
+// search. A semaphore bounds in-flight queries so a burst cannot pile up
+// unbounded goroutines and engine forks.
 type server struct {
-	mu  sync.Mutex
-	fed *fedroad.Federation
+	fed      *fedroad.Federation
+	sem      chan struct{} // bounds in-flight queries
+	sessions sync.Pool     // of *fedroad.Session
+	queries  atomic.Int64  // queries served (route + knn)
 }
 
-func newServer(fed *fedroad.Federation) *server { return &server{fed: fed} }
+// newServer builds a server bounding in-flight queries to maxConcurrent
+// (<=0 selects 4×GOMAXPROCS).
+func newServer(fed *fedroad.Federation, maxConcurrent int) *server {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	s := &server{fed: fed, sem: make(chan struct{}, maxConcurrent)}
+	s.sessions.New = func() any { return fed.Session() }
+	return s
+}
+
+// withSession bounds concurrency and runs fn on a pooled query session.
+func (s *server) withSession(fn func(*fedroad.Session)) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	sess := s.sessions.Get().(*fedroad.Session)
+	defer s.sessions.Put(sess)
+	s.queries.Add(1)
+	fn(sess)
+}
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -90,9 +115,11 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	route, stats, err := s.fed.ShortestPath(src, dst, queryOptions(r))
-	s.mu.Unlock()
+	var route fedroad.Route
+	var stats fedroad.Stats
+	s.withSession(func(sess *fedroad.Session) {
+		route, stats, err = sess.ShortestPath(src, dst, queryOptions(r))
+	})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -129,9 +156,11 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("parameter k out of range"))
 		return
 	}
-	s.mu.Lock()
-	routes, stats, err := s.fed.NearestNeighbors(src, k, queryOptions(r))
-	s.mu.Unlock()
+	var routes []fedroad.Route
+	var stats fedroad.Stats
+	s.withSession(func(sess *fedroad.Session) {
+		routes, stats, err = sess.NearestNeighbors(src, k, queryOptions(r))
+	})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -158,9 +187,13 @@ func (s *server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid body: %w", err))
 		return
 	}
+	// Validate everything before taking any lock so malformed requests get a
+	// 400 without ever touching federation state (silo/arc out of range or a
+	// travel time outside (0, MaxTravelMs) would otherwise panic deep in the
+	// weight setter).
 	numArcs := s.fed.Graph().NumArcs()
-	arcSet := map[fedroad.Arc]bool{}
-	for _, c := range changes {
+	updates := make([]fedroad.TrafficUpdate, len(changes))
+	for i, c := range changes {
 		if c.Silo < 0 || c.Silo >= s.fed.Silos() {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("silo %d out of range", c.Silo))
 			return
@@ -169,29 +202,23 @@ func (s *server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("arc %d out of range", c.Arc))
 			return
 		}
-		if c.TravelMs < 1 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("travel_ms must be positive"))
+		if c.TravelMs < 1 || c.TravelMs >= fedroad.MaxTravelMs {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("travel_ms %d outside (0,%d)", c.TravelMs, fedroad.MaxTravelMs))
 			return
 		}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, c := range changes {
-		s.fed.SetTraffic(c.Silo, c.Arc, c.TravelMs)
-		arcSet[c.Arc] = true
-	}
-	arcs := make([]fedroad.Arc, 0, len(arcSet))
-	for a := range arcSet {
-		arcs = append(arcs, a)
+		updates[i] = fedroad.TrafficUpdate{Silo: c.Silo, Arc: c.Arc, TravelMs: c.TravelMs}
 	}
 	start := time.Now()
+	hadIndex := s.fed.HasIndex()
+	stats, err := s.fed.ApplyTraffic(updates)
+	if err != nil {
+		// Validation re-runs inside ApplyTraffic; any error here is a bad
+		// request, not a server fault.
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	var updated any
-	if s.fed.HasIndex() {
-		stats, err := s.fed.UpdateIndex(arcs)
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-			return
-		}
+	if hadIndex {
 		updated = struct {
 			ChangedArcs int   `json:"changed_arcs"`
 			Reverified  int   `json:"reverified_vertices"`
@@ -208,19 +235,25 @@ func (s *server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.fed.IndexStats()
+	pool := s.fed.PoolStats()
 	writeJSON(w, struct {
-		Vertices  int   `json:"vertices"`
-		Arcs      int   `json:"arcs"`
-		Silos     int   `json:"silos"`
-		HasIndex  bool  `json:"has_index"`
-		Shortcuts int   `json:"shortcuts"`
-		BuildSACs int64 `json:"build_fed_sacs"`
+		Vertices      int   `json:"vertices"`
+		Arcs          int   `json:"arcs"`
+		Silos         int   `json:"silos"`
+		HasIndex      bool  `json:"has_index"`
+		Shortcuts     int   `json:"shortcuts"`
+		BuildSACs     int64 `json:"build_fed_sacs"`
+		QueriesServed int64 `json:"queries_served"`
+		MaxConcurrent int   `json:"max_concurrent"`
+		PoolProduced  int64 `json:"prepool_produced"`
+		PoolHits      int64 `json:"prepool_hits"`
+		PoolMisses    int64 `json:"prepool_misses"`
 	}{
 		s.fed.Graph().NumVertices(), s.fed.Graph().NumArcs(), s.fed.Silos(),
 		s.fed.HasIndex(), st.Shortcuts, st.SAC.Compares,
+		s.queries.Load(), cap(s.sem),
+		pool.Produced, pool.Hits, pool.Misses,
 	})
 }
 

@@ -30,7 +30,7 @@ func testServer(t *testing.T) (*httptest.Server, *fedroad.Federation, fedroad.We
 			joint[a] += w
 		}
 	}
-	ts := httptest.NewServer(newServer(fed).routes())
+	ts := httptest.NewServer(newServer(fed, 8).routes())
 	t.Cleanup(ts.Close)
 	return ts, fed, joint
 }
@@ -166,6 +166,9 @@ func TestTrafficValidation(t *testing.T) {
 		`[{"silo":99,"arc":0,"travel_ms":1000}]`,
 		`[{"silo":0,"arc":999999,"travel_ms":1000}]`,
 		`[{"silo":0,"arc":0,"travel_ms":0}]`,
+		`[{"silo":-1,"arc":0,"travel_ms":1000}]`,
+		`[{"silo":0,"arc":-1,"travel_ms":1000}]`,
+		`[{"silo":0,"arc":0,"travel_ms":4294967296}]`, // >= MaxTravelMs: would panic the weight setter
 	} {
 		resp, err := http.Post(ts.URL+"/traffic", "application/json", bytes.NewBufferString(body))
 		if err != nil {

@@ -38,17 +38,21 @@ func main() {
 
 	// An accident blocks a stretch in the middle of the current route:
 	// travel times on those segments jump 6x, observed by every silo.
+	// ApplyTraffic applies the observations and refreshes the shortcut index
+	// in one atomic step, so concurrent queries never see a half-updated
+	// federation.
 	var jammed []fedroad.Arc
+	var updates []fedroad.TrafficUpdate
 	mid := len(before.Path) / 2
 	for i := mid - 3; i < mid+3 && i+1 < len(before.Path); i++ {
 		a := g.FindArc(before.Path[i], before.Path[i+1])
 		jammed = append(jammed, a)
 		for p := 0; p < fed.Silos(); p++ {
-			fed.SetTraffic(p, a, w0[a]*6)
+			updates = append(updates, fedroad.TrafficUpdate{Silo: p, Arc: a, TravelMs: w0[a] * 6})
 		}
 	}
 	start = time.Now()
-	upd, err := fed.UpdateIndex(jammed)
+	upd, err := fed.ApplyTraffic(updates)
 	if err != nil {
 		log.Fatal(err)
 	}

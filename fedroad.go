@@ -34,6 +34,7 @@ package fedroad
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/ch"
@@ -144,15 +145,40 @@ type Config struct {
 	Landmarks int           // landmark count for Fed-ALT(-Max); default 32
 	Latency   time.Duration // modeled one-way network latency (default 0.2ms)
 	Bandwidth float64       // modeled bandwidth in bytes/s (default 1 GB/s)
+
+	// PreprocessPool, when positive, starts a background preprocessing pool
+	// holding up to this many comparisons' correlated randomness, generated
+	// ahead of demand so protocol-mode queries rarely pay the offline phase
+	// on the critical path. Call Close to release the pool's workers.
+	PreprocessPool int
+	// PreprocessWorkers is the number of pool replenisher goroutines
+	// (default 1; only meaningful with PreprocessPool > 0).
+	PreprocessWorkers int
+
+	// RealNetworkDelay applies the modeled latency/bandwidth as actual
+	// delivery delays on the in-process transport (protocol mode), so query
+	// wall times follow the paper's R·(L + S/B) cost model and concurrent
+	// sessions genuinely overlap their network waits. Off by default: index
+	// construction and benchmarks in analytic mode stay fast.
+	RealNetworkDelay bool
 }
 
 // Federation is the top-level handle: the shared topology, the private
 // silos, the MPC engine and (once built) the pre-computed structures.
+//
+// A Federation is safe for concurrent use. Queries (ShortestPath,
+// NearestNeighbors, and every query issued through a Session) take a read
+// lock and run on a private MPC engine fork, so any number of them proceed
+// in parallel; mutations (SetTraffic, ApplyTraffic, UpdateIndex, BuildIndex,
+// PrecomputeLandmarks) take the write lock and therefore never interleave
+// with a search. See DESIGN.md, "Concurrency model".
 type Federation struct {
+	mu    sync.RWMutex // queries read-lock; state mutation write-locks
 	inner *fed.Federation
 	index *ch.Index
 	lm    *lb.Landmarks
 	cfg   Config
+	pool  *mpc.Pool
 }
 
 // New assembles a federation of len(siloWeights) silos over the shared
@@ -169,7 +195,7 @@ func New(g *Graph, w0 Weights, siloWeights []Weights, cfg ...Config) (*Federatio
 	if c.Landmarks == 0 {
 		c.Landmarks = 32
 	}
-	params := mpc.Params{Seed: c.Seed}
+	params := mpc.Params{Seed: c.Seed, RealDelay: c.RealNetworkDelay}
 	if c.Mode == ModeProtocol {
 		params.Mode = mpc.ModeProtocol
 	}
@@ -186,7 +212,33 @@ func New(g *Graph, w0 Weights, siloWeights []Weights, cfg ...Config) (*Federatio
 	if err != nil {
 		return nil, err
 	}
-	return &Federation{inner: inner, cfg: c}, nil
+	f := &Federation{inner: inner, cfg: c}
+	if c.PreprocessPool > 0 {
+		f.pool = mpc.NewPool(len(siloWeights), c.PreprocessPool, c.PreprocessWorkers, c.Seed^0x5f3759df)
+		if err := inner.Engine().AttachPool(f.pool); err != nil {
+			f.pool.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Close releases background resources (the preprocessing pool's workers).
+// The federation remains queryable afterwards; comparisons simply fall back
+// to on-demand randomness generation.
+func (f *Federation) Close() {
+	if f.pool != nil {
+		f.pool.Close()
+	}
+}
+
+// PoolStats reports preprocessing-pool activity; the zero value when no pool
+// is configured.
+func (f *Federation) PoolStats() mpc.PoolStats {
+	if f.pool == nil {
+		return mpc.PoolStats{}
+	}
+	return f.pool.Stats()
 }
 
 // Graph returns the shared topology.
@@ -213,7 +265,11 @@ func (f *Federation) BuildIndex() error {
 }
 
 // BuildIndexWith constructs the index under explicit framework parameters.
+// Construction holds the write lock: no query runs against a half-built
+// index.
 func (f *Federation) BuildIndexWith(prm IndexParams) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	idx, err := ch.BuildWith(f.inner, prm)
 	if err != nil {
 		return err
@@ -223,11 +279,17 @@ func (f *Federation) BuildIndexWith(prm IndexParams) error {
 }
 
 // HasIndex reports whether the shortcut index is built.
-func (f *Federation) HasIndex() bool { return f.index != nil }
+func (f *Federation) HasIndex() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.index != nil
+}
 
 // IndexStats reports shortcut count and construction cost; zero values
 // before BuildIndex.
 func (f *Federation) IndexStats() ch.BuildStats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if f.index == nil {
 		return ch.BuildStats{}
 	}
@@ -239,6 +301,8 @@ func (f *Federation) IndexStats() ch.BuildStats {
 // shard goes to shards[p]. In a deployment each silo stores only its own
 // shard.
 func (f *Federation) SaveIndex(public io.Writer, shards []io.Writer) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if f.index == nil {
 		return fmt.Errorf("fedroad: no index built")
 	}
@@ -258,6 +322,8 @@ func (f *Federation) SaveIndex(public io.Writer, shards []io.Writer) error {
 
 // LoadSavedIndex restores a previously saved index instead of rebuilding.
 func (f *Federation) LoadSavedIndex(public io.Reader, shards []io.Reader) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	idx, err := ch.LoadIndex(f.inner, public, shards)
 	if err != nil {
 		return err
@@ -269,6 +335,12 @@ func (f *Federation) LoadSavedIndex(public io.Reader, shards []io.Reader) error 
 // PrecomputeLandmarks prepares the landmark matrices required by the FedALT
 // and FedALTMax estimators (FedAMPS needs no precomputation).
 func (f *Federation) PrecomputeLandmarks() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.precomputeLandmarksLocked()
+}
+
+func (f *Federation) precomputeLandmarksLocked() {
 	g := f.inner.Graph()
 	k := f.cfg.Landmarks
 	if k > g.NumVertices()/2 {
@@ -280,18 +352,107 @@ func (f *Federation) PrecomputeLandmarks() {
 	f.lm = lb.PrecomputeLandmarks(f.inner, lb.SelectLandmarks(g, f.inner.StaticWeights(), k, f.cfg.Seed))
 }
 
-// SetTraffic updates silo p's private weight of one arc (a real-time traffic
-// change). Call UpdateIndex afterwards to refresh the shortcut index.
-func (f *Federation) SetTraffic(silo int, a Arc, travelTimeMs int64) {
-	f.inner.Silo(silo).SetWeight(a, travelTimeMs)
+// ensureLandmarks precomputes the landmark matrices once, on first demand by
+// a landmark-based estimator, with double-checked locking so concurrent
+// queries neither race nor precompute twice.
+func (f *Federation) ensureLandmarks() {
+	f.mu.RLock()
+	have := f.lm != nil
+	f.mu.RUnlock()
+	if have {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.lm == nil {
+		f.precomputeLandmarksLocked()
+	}
 }
 
-// UpdateIndex runs the federated partial index update for the changed arcs.
+// MaxTravelMs bounds every travel-time observation (exclusive); see
+// graph.MaxWeight and the fixed-point discipline in DESIGN.md.
+const MaxTravelMs = int64(graph.MaxWeight)
+
+// SetTraffic updates silo p's private weight of one arc (a real-time traffic
+// change) under the write lock. Call UpdateIndex afterwards — or use
+// ApplyTraffic to do both atomically — so the shortcut index stays
+// consistent with the silo weights.
+func (f *Federation) SetTraffic(silo int, a Arc, travelTimeMs int64) error {
+	if err := f.validateTraffic(silo, a, travelTimeMs); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.inner.Silo(silo).SetWeight(a, travelTimeMs)
+	return nil
+}
+
+func (f *Federation) validateTraffic(silo int, a Arc, travelTimeMs int64) error {
+	if silo < 0 || silo >= f.Silos() {
+		return fmt.Errorf("fedroad: silo %d out of range [0,%d)", silo, f.Silos())
+	}
+	if int(a) < 0 || int(a) >= f.Graph().NumArcs() {
+		return fmt.Errorf("fedroad: arc %d out of range [0,%d)", a, f.Graph().NumArcs())
+	}
+	if travelTimeMs <= 0 || travelTimeMs >= MaxTravelMs {
+		return fmt.Errorf("fedroad: travel time %dms outside (0,%d)", travelTimeMs, MaxTravelMs)
+	}
+	return nil
+}
+
+// TrafficUpdate is one silo's new travel-time observation for one arc.
+type TrafficUpdate struct {
+	Silo     int
+	Arc      Arc
+	TravelMs int64
+}
+
+// ApplyTraffic validates and applies a batch of traffic updates and, when
+// the shortcut index is built, refreshes it — all inside one exclusive
+// critical section, so no query ever observes silo weights that disagree
+// with the index. Invalid updates are rejected up front; nothing is applied.
+func (f *Federation) ApplyTraffic(updates []TrafficUpdate) (ch.UpdateStats, error) {
+	for _, u := range updates {
+		if err := f.validateTraffic(u.Silo, u.Arc, u.TravelMs); err != nil {
+			return ch.UpdateStats{}, err
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	arcSet := make(map[Arc]bool, len(updates))
+	for _, u := range updates {
+		f.inner.Silo(u.Silo).SetWeight(u.Arc, u.TravelMs)
+		arcSet[u.Arc] = true
+	}
+	if f.index == nil {
+		return ch.UpdateStats{}, nil
+	}
+	arcs := make([]Arc, 0, len(arcSet))
+	for a := range arcSet {
+		arcs = append(arcs, a)
+	}
+	return f.index.Update(arcs)
+}
+
+// UpdateIndex runs the federated partial index update for the changed arcs
+// under the write lock.
 func (f *Federation) UpdateIndex(changed []Arc) (ch.UpdateStats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.index == nil {
 		return ch.UpdateStats{}, fmt.Errorf("fedroad: no index built")
 	}
 	return f.index.Update(changed)
+}
+
+// SetRealNetworkDelay toggles real-time simulation of the modeled network
+// on the federation's transport (protocol mode). Sessions created afterwards
+// inherit the setting; existing sessions keep theirs. Useful to build the
+// index at full speed and then serve queries under realistic latency.
+func (f *Federation) SetRealNetworkDelay(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.inner.Engine().SetRealDelay(on)
 }
 
 // QueryOptions tunes a single query. The zero value uses the paper's best
@@ -320,83 +481,28 @@ type Route struct {
 // Stats re-exports per-query cost counters.
 type Stats = core.QueryStats
 
-func (f *Federation) engine(opt QueryOptions) (*core.Engine, error) {
-	o := core.Options{}
-	if opt.Queue == "" {
-		o.Queue = pq.KindTMTree
-	} else {
-		o.Queue = pq.Kind(opt.Queue)
-	}
-	if opt.Estimator == "" {
-		o.Estimator = lb.FedAMPS
-	} else {
-		o.Estimator = lb.Kind(opt.Estimator)
-	}
-	if o.Estimator == lb.FedALT || o.Estimator == lb.FedALTMax {
-		if f.lm == nil {
-			f.PrecomputeLandmarks()
-		}
-		o.Landmarks = f.lm
-	}
-	if !opt.NoIndex {
-		o.Index = f.index
-	}
-	o.BatchedMPC = opt.BatchedMPC
-	return core.NewEngine(f.inner, o)
-}
+// SACStats re-exports the MPC engine's accumulated cost counters (used by
+// Session.Stats).
+type SACStats = mpc.Stats
 
 // ShortestPath answers a federated single-pair shortest-path query with the
-// default (or given) options.
+// default (or given) options. Safe for concurrent use: each call runs in an
+// ephemeral query session (see Session) under the federation's read lock.
+// Callers issuing many queries should hold a Session to reuse its MPC
+// engine fork.
 func (f *Federation) ShortestPath(s, t Vertex, opts ...QueryOptions) (Route, Stats, error) {
-	var opt QueryOptions
-	if len(opts) > 1 {
-		return Route{}, Stats{}, fmt.Errorf("fedroad: at most one QueryOptions")
-	}
-	if len(opts) == 1 {
-		opt = opts[0]
-	}
-	e, err := f.engine(opt)
-	if err != nil {
-		return Route{}, Stats{}, err
-	}
-	res, stats, err := e.SPSP(s, t)
-	if err != nil {
-		return Route{}, Stats{}, err
-	}
-	return Route{Path: res.Path, Partials: res.Partial, Found: res.Found}, stats, nil
+	sess := f.Session()
+	defer sess.Close()
+	return sess.ShortestPath(s, t, opts...)
 }
 
 // NearestNeighbors answers a federated kNN query (Fed-SSSP, Alg. 1): the k
 // nearest vertices to s on the joint road network, nearest first (the source
-// itself is the first entry).
+// itself is the first entry). Safe for concurrent use (see ShortestPath).
 func (f *Federation) NearestNeighbors(s Vertex, k int, opts ...QueryOptions) ([]Route, Stats, error) {
-	var opt QueryOptions
-	if len(opts) > 1 {
-		return nil, Stats{}, fmt.Errorf("fedroad: at most one QueryOptions")
-	}
-	if len(opts) == 1 {
-		opt = opts[0]
-	}
-	// SSSP runs on the flat network; only the queue choice applies.
-	o := core.Options{}
-	if opt.Queue == "" {
-		o.Queue = pq.KindTMTree
-	} else {
-		o.Queue = pq.Kind(opt.Queue)
-	}
-	e, err := core.NewEngine(f.inner, o)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	results, stats, err := e.SSSP(s, k)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	routes := make([]Route, len(results))
-	for i, r := range results {
-		routes[i] = Route{Path: r.Path, Partials: r.Partial, Found: r.Found}
-	}
-	return routes, stats, nil
+	sess := f.Session()
+	defer sess.Close()
+	return sess.NearestNeighbors(s, k, opts...)
 }
 
 // JointCost sums a route's per-silo partials — the joint cost scaled by the

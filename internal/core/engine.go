@@ -91,7 +91,7 @@ func NewEngine(f *fed.Federation, opt Options) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown queue kind %q", opt.Queue)
 	}
-	if opt.Index != nil && opt.Index.Federation() != f {
+	if opt.Index != nil && opt.Index.Federation().Root() != f.Root() {
 		return nil, fmt.Errorf("core: shortcut index belongs to a different federation")
 	}
 	if opt.BatchedMPC && opt.Queue != pq.KindTMTree {

@@ -55,11 +55,19 @@ func (s *Silo) Weights() graph.Weights { return s.w }
 
 // Federation binds the shared topology, the public static weights, the P
 // silos and the MPC engine executing Fed-SAC.
+//
+// A Federation is not safe for unsynchronized concurrent use (its MPC engine
+// is single-goroutine and silo weights are mutable); Fork produces views that
+// share all federation data but own an independent engine, so queries on
+// different forks run concurrently. Coordinating queries against weight
+// mutation is the caller's responsibility (the fedroad package does this
+// with a reader/writer lock).
 type Federation struct {
 	g     *graph.Graph
 	w0    graph.Weights
 	silos []*Silo
 	eng   *mpc.Engine
+	root  *Federation // nil when this federation is itself the root
 }
 
 // New assembles a federation. siloWeights[p] is silo p's private weight set;
@@ -103,6 +111,25 @@ func (f *Federation) Silo(p int) *Silo { return f.silos[p] }
 
 // Engine exposes the MPC engine (for cost accounting).
 func (f *Federation) Engine() *mpc.Engine { return f.eng }
+
+// Root returns the federation this one was (transitively) forked from, or
+// the federation itself if it is the root. Forks of one root share all
+// federation data — pre-computed structures built against any member of the
+// family are valid for every other member.
+func (f *Federation) Root() *Federation {
+	if f.root != nil {
+		return f.root
+	}
+	return f
+}
+
+// Fork returns a federation view backed by the same topology, public
+// weights and silos, with an independent MPC engine forked from this
+// federation's engine. Queries on distinct forks run concurrently; each
+// individual fork remains single-goroutine.
+func (f *Federation) Fork() *Federation {
+	return &Federation{g: f.g, w0: f.w0, silos: f.silos, eng: f.eng.Fork(), root: f.Root()}
+}
 
 // ArcPartial returns the partial-cost vector of a single arc: entry p is
 // silo p's private weight of the arc.

@@ -238,8 +238,10 @@ func (e *Engine) simNetFor(totalBytes int64) time.Duration {
 }
 
 // batchCostFor returns (calibrating on first use) the wire cost of a k-batch.
+// The cache is shared across the engine's fork family; concurrent forks that
+// both miss calibrate independently and store identical values.
 func (e *Engine) batchCostFor(k int) (batchCost, error) {
-	if c, ok := e.batchCosts[k]; ok {
+	if c, ok := e.calib.get(k); ok {
 		return c, nil
 	}
 	// Calibration: run one protocol-mode batch of size k on zero inputs.
@@ -253,10 +255,7 @@ func (e *Engine) batchCostFor(k int) (batchCost, error) {
 	st := e.mem.Stats()
 	c := batchCost{bytes: st.Bytes, msgs: st.Messages}
 	e.mem.ResetStats()
-	if e.batchCosts == nil {
-		e.batchCosts = make(map[int]batchCost)
-	}
-	e.batchCosts[k] = c
+	e.calib.put(k, c)
 	return c, nil
 }
 
@@ -268,7 +267,7 @@ func (e *Engine) runBatchProtocol(diffs [][]int64) ([]bool, error) {
 		tuples[p] = make([]CmpTuple, k)
 	}
 	for i := 0; i < k; i++ {
-		ts := e.dealer.CmpTuples()
+		ts := e.tuplesForCompare()
 		for p := 0; p < e.n; p++ {
 			tuples[p][i] = ts[p]
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
@@ -44,6 +45,12 @@ type Params struct {
 	Mode    Mode
 	Seed    uint64 // deterministic randomness for dealer and parties
 	Net     NetworkModel
+	// RealDelay applies Net as actual delivery delays on the in-process
+	// transport (protocol mode): every message is receivable only after the
+	// modeled latency plus serialization time, so wall-clock measurements
+	// reflect the paper's cost model and concurrent engine forks overlap
+	// their network waits.
+	RealDelay bool
 }
 
 // Stats aggregates the cost of all comparisons executed by an engine.
@@ -79,16 +86,31 @@ func (s Stats) Sub(other Stats) Stats {
 // concrete carrier of the Fed-SAC operator: the federation layer feeds it
 // per-silo cost differences and receives only the joint comparison bit.
 //
-// An Engine is not safe for concurrent use.
+// An Engine is not safe for concurrent use, but independent engines run
+// concurrently: Fork gives each in-flight query its own engine instance
+// (own transport lanes, dealer stream, party randomness and stat counters)
+// sharing only the immutable calibration data of its root.
 type Engine struct {
 	n      int
 	mode   Mode
 	netm   NetworkModel
+	seed   uint64
 	dealer *Dealer
 	rngs   []*rand.Rand
 	mem    *transport.Mem
 	conns  []transport.Conn
 	stats  Stats
+
+	// realDelay mirrors whether mem currently applies netm in real time.
+	realDelay bool
+
+	// pool, when attached, serves pre-generated correlated randomness to
+	// runProtocol/runBatchProtocol ahead of the dealer.
+	pool *Pool
+
+	// forkCtr hands out distinct randomness streams to forks; shared by the
+	// whole fork family.
+	forkCtr *atomic.Uint64
 
 	// calibrated per-comparison costs (identical for every comparison: the
 	// protocol's communication pattern is input-independent)
@@ -96,8 +118,28 @@ type Engine struct {
 	cmpMsgs   int64
 	cmpSimNet time.Duration
 
-	// per-batch-size calibrated costs for CompareBatch, filled lazily
-	batchCosts map[int]batchCost
+	// per-batch-size calibrated costs for CompareBatch, filled lazily and
+	// shared (thread-safely) across the fork family
+	calib *batchCalib
+}
+
+// batchCalib is the fork-shared cache of per-batch-size calibrated costs.
+type batchCalib struct {
+	mu    sync.Mutex
+	costs map[int]batchCost
+}
+
+func (c *batchCalib) get(k int) (batchCost, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cost, ok := c.costs[k]
+	return cost, ok
+}
+
+func (c *batchCalib) put(k int, cost batchCost) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.costs[k] = cost
 }
 
 // NewEngine creates an engine. It runs one calibration comparison in
@@ -109,7 +151,12 @@ func NewEngine(p Params) (*Engine, error) {
 	if p.Net.Bandwidth == 0 {
 		p.Net = DefaultLAN()
 	}
-	e := &Engine{n: p.Parties, mode: p.Mode, netm: p.Net, dealer: NewDealer(p.Parties, p.Seed)}
+	e := &Engine{
+		n: p.Parties, mode: p.Mode, netm: p.Net, seed: p.Seed,
+		dealer:  NewDealer(p.Parties, p.Seed),
+		forkCtr: new(atomic.Uint64),
+		calib:   &batchCalib{costs: make(map[int]batchCost)},
+	}
 	e.rngs = make([]*rand.Rand, e.n)
 	for i := range e.rngs {
 		e.rngs[i] = rand.New(rand.NewPCG(p.Seed+uint64(i)*0x9e3779b97f4a7c15, uint64(i)+1))
@@ -134,7 +181,83 @@ func NewEngine(p Params) (*Engine, error) {
 	e.cmpSimNet = time.Duration(float64(RoundsPerCompare)*float64(e.netm.Latency) +
 		perPartyBytes/e.netm.Bandwidth*float64(time.Second))
 	e.mem.ResetStats()
+	e.SetRealDelay(p.RealDelay)
 	return e, nil
+}
+
+// Fork returns an independent engine over the same parties and network
+// model: fresh transport lanes, a fresh dealer stream, fresh party
+// randomness and zeroed stats, sharing the root's calibration (so no
+// calibration protocol run is repeated) and its preprocessing pool and
+// real-delay setting. Forks may run concurrently with each other and with
+// their root; each individual engine remains single-goroutine.
+func (e *Engine) Fork() *Engine {
+	id := e.forkCtr.Add(1)
+	seed := e.seed + id*0xd1342543de82ef95 // distinct odd-multiplier stream per fork
+	f := &Engine{
+		n: e.n, mode: e.mode, netm: e.netm, seed: e.seed,
+		dealer:   NewDealer(e.n, seed),
+		forkCtr:  e.forkCtr,
+		calib:    e.calib,
+		pool:     e.pool,
+		cmpBytes: e.cmpBytes, cmpMsgs: e.cmpMsgs, cmpSimNet: e.cmpSimNet,
+	}
+	f.rngs = make([]*rand.Rand, f.n)
+	for i := range f.rngs {
+		f.rngs[i] = rand.New(rand.NewPCG(seed+uint64(i)*0x9e3779b97f4a7c15, uint64(i)+1))
+	}
+	f.mem = transport.NewMem(f.n)
+	f.conns = make([]transport.Conn, f.n)
+	for i := range f.conns {
+		f.conns[i] = f.mem.Conn(i)
+	}
+	f.SetRealDelay(e.realDelay)
+	return f
+}
+
+// Close releases the engine's in-process transport endpoints. Optional: an
+// unclosed engine is reclaimed by the garbage collector.
+func (e *Engine) Close() {
+	for _, c := range e.conns {
+		c.Close()
+	}
+}
+
+// AttachPool directs the engine (and subsequent forks) to draw correlated
+// randomness from a shared preprocessing pool, falling back to the local
+// dealer when the pool is dry.
+func (e *Engine) AttachPool(p *Pool) error {
+	if p != nil && p.Parties() != e.n {
+		return fmt.Errorf("mpc: pool dealt for %d parties, engine has %d", p.Parties(), e.n)
+	}
+	e.pool = p
+	return nil
+}
+
+// Pool returns the attached preprocessing pool, if any.
+func (e *Engine) Pool() *Pool { return e.pool }
+
+// SetRealDelay switches real-time simulation of the network model on or off
+// for this engine's transport (protocol mode only; ideal-mode comparisons
+// exchange no messages).
+func (e *Engine) SetRealDelay(on bool) {
+	e.realDelay = on
+	if on {
+		e.mem.SetDelay(e.netm.Latency, e.netm.Bandwidth)
+	} else {
+		e.mem.SetDelay(0, 0)
+	}
+}
+
+// tuplesForCompare returns one comparison's correlated randomness, preferring
+// the preprocessing pool over on-demand dealer generation.
+func (e *Engine) tuplesForCompare() []CmpTuple {
+	if e.pool != nil {
+		if t := e.pool.TakeTuples(); t != nil {
+			return t
+		}
+	}
+	return e.dealer.CmpTuples()
 }
 
 // N returns the number of parties.
@@ -198,7 +321,7 @@ func (e *Engine) CompareSums(a, b []int64) (bool, error) {
 
 // runProtocol executes one full protocol comparison across party goroutines.
 func (e *Engine) runProtocol(diffs []int64) (bool, error) {
-	tuples := e.dealer.CmpTuples()
+	tuples := e.tuplesForCompare()
 	results := make([]bool, e.n)
 	errs := make([]error, e.n)
 	var wg sync.WaitGroup

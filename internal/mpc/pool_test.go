@@ -1,0 +1,268 @@
+package mpc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitForBuffer polls until the pool has buffered at least want tuple sets.
+func waitForBuffer(t *testing.T, p *Pool, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Buffered < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never buffered %d tuple sets (stats %+v)", want, p.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPoolReplenishes(t *testing.T) {
+	p := NewPool(3, 16, 2, 11)
+	defer p.Close()
+	waitForBuffer(t, p, 16)
+	st := p.Stats()
+	if st.Produced < 16 {
+		t.Fatalf("produced %d, want >= 16", st.Produced)
+	}
+	if st.Buffered != 16 {
+		t.Fatalf("buffered %d, want 16 (channel full)", st.Buffered)
+	}
+}
+
+func TestPoolTupleConsistency(t *testing.T) {
+	// Pool-dealt tuples must satisfy the same dealer invariants as on-demand
+	// ones: r reconstructs from the bit shares, and the Beaver triples hold.
+	p := NewPool(3, 4, 1, 12)
+	defer p.Close()
+	waitForBuffer(t, p, 1)
+	tuples := p.TakeTuples()
+	if tuples == nil {
+		t.Fatal("TakeTuples returned nil on a non-empty pool")
+	}
+	if len(tuples) != 3 {
+		t.Fatalf("tuple set for %d parties, want 3", len(tuples))
+	}
+	var r uint64
+	for _, tp := range tuples {
+		r += tp.RShare
+	}
+	for i := 0; i < K; i++ {
+		var bit Bit
+		for _, tp := range tuples {
+			bit ^= tp.RBits[i]
+		}
+		if bit != Bit(r>>uint(i))&1 {
+			t.Fatalf("R bit %d inconsistent with additive sharing", i)
+		}
+	}
+	for idx := 0; idx < TriplesPerCompare; idx++ {
+		var a, b, c Bit
+		for _, tp := range tuples {
+			a ^= tp.Triples[idx].A
+			b ^= tp.Triples[idx].B
+			c ^= tp.Triples[idx].C
+		}
+		if c != a&b {
+			t.Fatalf("triple %d violated: a=%d b=%d c=%d", idx, a, b, c)
+		}
+	}
+}
+
+func TestPoolHitsAndMisses(t *testing.T) {
+	p := NewPool(2, 2, 1, 13)
+	defer p.Close()
+	waitForBuffer(t, p, 2)
+
+	if tuples := p.TakeTuples(); tuples == nil {
+		t.Fatal("expected a pool hit")
+	}
+	if st := p.Stats(); st.Hits != 1 {
+		t.Fatalf("hits %d, want 1", st.Hits)
+	}
+
+	// Drain faster than one worker can refill: eventually a miss.
+	sawMiss := false
+	for i := 0; i < 10000 && !sawMiss; i++ {
+		sawMiss = p.TakeTuples() == nil
+	}
+	if !sawMiss {
+		t.Fatal("pool never reported a miss under a hard drain")
+	}
+	if st := p.Stats(); st.Misses < 1 {
+		t.Fatalf("misses %d, want >= 1", st.Misses)
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(3, 4, 2, 14)
+	p.Close()
+	p.Close() // must not panic or deadlock
+	// Buffered tuples stay takeable after Close.
+	if p.Stats().Buffered > 0 && p.TakeTuples() == nil {
+		t.Fatal("buffered tuples lost on Close")
+	}
+}
+
+func TestPoolConcurrentTake(t *testing.T) {
+	p := NewPool(3, 64, 2, 15)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if tuples := p.TakeTuples(); tuples != nil && len(tuples) != 3 {
+					t.Errorf("tuple set of size %d", len(tuples))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+}
+
+func TestEngineWithPoolCorrect(t *testing.T) {
+	// Protocol-mode comparisons must stay correct when their correlated
+	// randomness comes from the pool instead of the engine's own dealer.
+	p := NewPool(3, 32, 1, 16)
+	defer p.Close()
+	e, err := NewEngine(Params{Parties: 3, Mode: ModeProtocol, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AttachPool(p); err != nil {
+		t.Fatal(err)
+	}
+	waitForBuffer(t, p, 8)
+	cases := []struct {
+		diffs []int64
+		want  bool
+	}{
+		{[]int64{-5, 2, 2}, true},
+		{[]int64{5, -2, -2}, false},
+		{[]int64{0, 0, 0}, false},
+		{[]int64{1 << 30, -(1 << 30), -1}, true},
+	}
+	for _, c := range cases {
+		got, err := e.Compare(c.diffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("Compare(%v) = %v, want %v", c.diffs, got, c.want)
+		}
+	}
+	if p.Stats().Hits == 0 {
+		t.Fatal("engine never drew from the attached pool")
+	}
+}
+
+func TestAttachPoolPartyMismatch(t *testing.T) {
+	p := NewPool(4, 4, 1, 18)
+	defer p.Close()
+	e, err := NewEngine(Params{Parties: 3, Mode: ModeProtocol, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AttachPool(p); err == nil {
+		t.Fatal("attached a 4-party pool to a 3-party engine")
+	}
+}
+
+func TestEngineForkIndependence(t *testing.T) {
+	root, err := NewEngine(Params{Parties: 3, Mode: ModeProtocol, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f2 := root.Fork(), root.Fork()
+	defer f1.Close()
+	defer f2.Close()
+
+	// Forks share the root's calibration without re-running it.
+	rb, _, _ := root.PerCompareCost()
+	fb, _, _ := f1.PerCompareCost()
+	if rb == 0 || rb != fb {
+		t.Fatalf("fork calibration %d, root %d", fb, rb)
+	}
+
+	// Stats are per-engine.
+	if _, err := f1.Compare([]int64{-1, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if f1.Stats().Compares != 1 || f2.Stats().Compares != 0 || root.Stats().Compares != 0 {
+		t.Fatalf("stats leaked across forks: root=%d f1=%d f2=%d",
+			root.Stats().Compares, f1.Stats().Compares, f2.Stats().Compares)
+	}
+}
+
+func TestEngineForksConcurrent(t *testing.T) {
+	// Many forks run full protocol comparisons in parallel; all must agree
+	// with the plaintext sign. This is the core guarantee behind concurrent
+	// query sessions.
+	root, err := NewEngine(Params{Parties: 3, Mode: ModeProtocol, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := root.Fork()
+			defer e.Close()
+			for i := 0; i < 25; i++ {
+				d := int64((w*25+i)%7) - 3
+				got, err := e.Compare([]int64{d, int64(w), -int64(w)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != (d < 0) {
+					t.Errorf("fork %d: Compare sign wrong for d=%d", w, d)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestRealDelaySlowsProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	fast, err := NewEngine(Params{Parties: 2, Mode: ModeProtocol, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := fast.Fork()
+	defer slow.Close()
+	slow.netm = NetworkModel{Latency: 3 * time.Millisecond, Bandwidth: 1e9}
+	slow.SetRealDelay(true)
+
+	start := time.Now()
+	if _, err := slow.Compare([]int64{-1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// The protocol needs multiple sequential rounds; with 3ms one-way latency
+	// a comparison cannot complete in under one round trip.
+	if elapsed < 3*time.Millisecond {
+		t.Fatalf("real-delay comparison took %v, want >= 3ms", elapsed)
+	}
+
+	start = time.Now()
+	if _, err := fast.Compare([]int64{-1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if fastElapsed := time.Since(start); fastElapsed > elapsed {
+		t.Fatalf("delay-free comparison (%v) slower than delayed one (%v)", fastElapsed, elapsed)
+	}
+}

@@ -14,7 +14,9 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Conn is one party's endpoint into the network. Party IDs are dense in
@@ -45,14 +47,30 @@ type Stats struct {
 	Messages int64 // messages sent
 }
 
+// memMsg is one in-flight message. readyAt is the simulated delivery time;
+// the zero value means "deliver immediately".
+type memMsg struct {
+	data    []byte
+	readyAt time.Time
+}
+
 // Mem is an in-process network of N parties backed by buffered channels,
 // with atomic traffic accounting.
+//
+// By default delivery is immediate. SetDelay switches the network into
+// real-time simulation: each message becomes receivable only after the
+// modeled one-way latency plus its serialization time has elapsed, so a
+// protocol run's wall time reflects the paper's R·(L + S/B) cost model and
+// concurrent protocol instances genuinely overlap their waits.
 type Mem struct {
 	n      int
-	chans  [][]chan []byte // chans[from][to]
+	chans  [][]chan memMsg // chans[from][to]
 	closed []atomic.Bool
 	bytes  atomic.Int64
 	msgs   atomic.Int64
+
+	latencyNs atomic.Int64  // one-way latency, nanoseconds (0 = off)
+	invBW     atomic.Uint64 // float64 bits of seconds-per-byte (0 = off)
 }
 
 // NewMem creates an in-process network for n parties.
@@ -60,16 +78,30 @@ func NewMem(n int) *Mem {
 	if n < 2 {
 		panic("transport: need at least 2 parties")
 	}
-	m := &Mem{n: n, chans: make([][]chan []byte, n), closed: make([]atomic.Bool, n)}
+	m := &Mem{n: n, chans: make([][]chan memMsg, n), closed: make([]atomic.Bool, n)}
 	for i := range m.chans {
-		m.chans[i] = make([]chan []byte, n)
+		m.chans[i] = make([]chan memMsg, n)
 		for j := range m.chans[i] {
 			if i != j {
-				m.chans[i][j] = make(chan []byte, 1024)
+				m.chans[i][j] = make(chan memMsg, 1024)
 			}
 		}
 	}
 	return m
+}
+
+// SetDelay configures real-time delivery delays: every message becomes
+// receivable latency + len/bytesPerSec after it is sent. Zero values disable
+// the respective term; SetDelay(0, 0) restores immediate delivery. Safe to
+// call between protocol runs; concurrent calls with in-flight messages only
+// affect messages sent afterwards.
+func (m *Mem) SetDelay(latency time.Duration, bytesPerSec float64) {
+	m.latencyNs.Store(int64(latency))
+	var inv float64
+	if bytesPerSec > 0 {
+		inv = 1 / bytesPerSec
+	}
+	m.invBW.Store(math.Float64bits(inv))
 }
 
 // Stats returns a snapshot of total traffic.
@@ -110,7 +142,14 @@ func (c *memConn) Send(to int, data []byte) error {
 	copy(cp, data)
 	c.net.bytes.Add(int64(len(data)))
 	c.net.msgs.Add(1)
-	c.net.chans[c.id][to] <- cp
+	msg := memMsg{data: cp}
+	lat := c.net.latencyNs.Load()
+	inv := math.Float64frombits(c.net.invBW.Load())
+	if lat > 0 || inv > 0 {
+		d := time.Duration(lat) + time.Duration(float64(len(data))*inv*float64(time.Second))
+		msg.readyAt = time.Now().Add(d)
+	}
+	c.net.chans[c.id][to] <- msg
 	return nil
 }
 
@@ -118,11 +157,16 @@ func (c *memConn) Recv(from int) ([]byte, error) {
 	if from == c.id || from < 0 || from >= c.net.n {
 		return nil, fmt.Errorf("transport: invalid source %d", from)
 	}
-	data, ok := <-c.net.chans[from][c.id]
+	msg, ok := <-c.net.chans[from][c.id]
 	if !ok {
 		return nil, ErrClosed
 	}
-	return data, nil
+	if !msg.readyAt.IsZero() {
+		if d := time.Until(msg.readyAt); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return msg.data, nil
 }
 
 func (c *memConn) Close() error {

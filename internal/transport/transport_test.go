@@ -355,3 +355,45 @@ func TestTCPSendRecvValidation(t *testing.T) {
 		t.Fatal("identity wrong")
 	}
 }
+
+func TestMemDelayedDelivery(t *testing.T) {
+	m := NewMem(2)
+	m.SetDelay(5*time.Millisecond, 0)
+	a, b := m.Conn(0), m.Conn(1)
+	start := time.Now()
+	if err := a.Send(1, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("delayed message delivered after %v, want >= 5ms", elapsed)
+	}
+
+	// Bandwidth term: 1000 bytes at 100 kB/s is another 10ms.
+	m.SetDelay(0, 100e3)
+	start = time.Now()
+	if err := a.Send(1, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("bandwidth-delayed message delivered after %v, want >= 10ms", elapsed)
+	}
+
+	// SetDelay(0, 0) restores immediate delivery.
+	m.SetDelay(0, 0)
+	start = time.Now()
+	if err := a.Send(1, []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("immediate message took %v", elapsed)
+	}
+}

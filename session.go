@@ -1,0 +1,147 @@
+package fedroad
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fed"
+	"repro/internal/lb"
+	"repro/internal/pq"
+)
+
+// Session is a concurrent query context over a federation. It snapshots
+// nothing and copies nothing heavyweight: the shared immutable state
+// (topology, public static weights, shortcut index, landmark matrices) is
+// referenced, while everything mutable per query — the MPC engine with its
+// transport lanes, dealer randomness stream and cost counters — is owned by
+// the session, forked from the federation's root engine. Queries on
+// distinct sessions therefore run fully in parallel; the federation's
+// reader/writer lock only serializes them against traffic updates and index
+// (re)builds.
+//
+// A Session issues one query at a time (it is not itself safe for
+// concurrent use); open one session per worker goroutine.
+type Session struct {
+	f     *Federation
+	inner *fed.Federation // engine-owning fork of the root federation
+}
+
+// Session opens a query session. Sessions are cheap (no protocol
+// calibration is repeated); Close releases their transport endpoints.
+func (f *Federation) Session() *Session {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return &Session{f: f, inner: f.inner.Fork()}
+}
+
+// Federation returns the federation the session queries.
+func (s *Session) Federation() *Federation { return s.f }
+
+// Stats returns the session's accumulated Fed-SAC cost counters across all
+// its queries.
+func (s *Session) Stats() SACStats { return s.inner.Engine().Stats() }
+
+// Close releases the session's in-process transport endpoints. Optional —
+// an unclosed session is garbage-collected — but good hygiene for
+// long-lived servers.
+func (s *Session) Close() { s.inner.Engine().Close() }
+
+// oneOpt validates the variadic options idiom shared by the query methods.
+func oneOpt(opts []QueryOptions) (QueryOptions, error) {
+	switch len(opts) {
+	case 0:
+		return QueryOptions{}, nil
+	case 1:
+		return opts[0], nil
+	default:
+		return QueryOptions{}, fmt.Errorf("fedroad: at most one QueryOptions")
+	}
+}
+
+// ShortestPath answers a federated single-pair shortest-path query on this
+// session, under the federation's read lock.
+func (s *Session) ShortestPath(src, dst Vertex, opts ...QueryOptions) (Route, Stats, error) {
+	opt, err := oneOpt(opts)
+	if err != nil {
+		return Route{}, Stats{}, err
+	}
+	if opt.Estimator == FedALT || opt.Estimator == FedALTMax {
+		s.f.ensureLandmarks()
+	}
+	s.f.mu.RLock()
+	defer s.f.mu.RUnlock()
+	return s.shortestPathLocked(src, dst, opt)
+}
+
+// shortestPathLocked runs the query body; the caller holds f.mu (read).
+func (s *Session) shortestPathLocked(src, dst Vertex, opt QueryOptions) (Route, Stats, error) {
+	e, err := s.engineLocked(opt)
+	if err != nil {
+		return Route{}, Stats{}, err
+	}
+	res, stats, err := e.SPSP(src, dst)
+	if err != nil {
+		return Route{}, Stats{}, err
+	}
+	return Route{Path: res.Path, Partials: res.Partial, Found: res.Found}, stats, nil
+}
+
+// NearestNeighbors answers a federated kNN query on this session, under the
+// federation's read lock.
+func (s *Session) NearestNeighbors(src Vertex, k int, opts ...QueryOptions) ([]Route, Stats, error) {
+	opt, err := oneOpt(opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	s.f.mu.RLock()
+	defer s.f.mu.RUnlock()
+	return s.nearestNeighborsLocked(src, k, opt)
+}
+
+// nearestNeighborsLocked runs the query body; the caller holds f.mu (read).
+func (s *Session) nearestNeighborsLocked(src Vertex, k int, opt QueryOptions) ([]Route, Stats, error) {
+	// SSSP runs on the flat network; only the queue choice applies.
+	o := core.Options{}
+	if opt.Queue == "" {
+		o.Queue = pq.KindTMTree
+	} else {
+		o.Queue = pq.Kind(opt.Queue)
+	}
+	e, err := core.NewEngine(s.inner, o)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	results, stats, err := e.SSSP(src, k)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	routes := make([]Route, len(results))
+	for i, r := range results {
+		routes[i] = Route{Path: r.Path, Partials: r.Partial, Found: r.Found}
+	}
+	return routes, stats, nil
+}
+
+// engineLocked assembles the per-query search engine against the session's
+// private MPC fork and the federation's shared read-locked structures.
+func (s *Session) engineLocked(opt QueryOptions) (*core.Engine, error) {
+	o := core.Options{}
+	if opt.Queue == "" {
+		o.Queue = pq.KindTMTree
+	} else {
+		o.Queue = pq.Kind(opt.Queue)
+	}
+	if opt.Estimator == "" {
+		o.Estimator = lb.FedAMPS
+	} else {
+		o.Estimator = lb.Kind(opt.Estimator)
+	}
+	if o.Estimator == lb.FedALT || o.Estimator == lb.FedALTMax {
+		o.Landmarks = s.f.lm
+	}
+	if !opt.NoIndex {
+		o.Index = s.f.index
+	}
+	o.BatchedMPC = opt.BatchedMPC
+	return core.NewEngine(s.inner, o)
+}
