@@ -41,6 +41,10 @@ func main() {
 		queue     = flag.String("queue", "tm-tree", "priority queue: heap|l-heap|tm-tree")
 		noIndex   = flag.Bool("no-index", false, "skip the federated shortcut index (Naive-Dijk)")
 		protocol  = flag.Bool("protocol", false, "run the full MPC protocol per comparison")
+
+		roundTimeout = flag.Duration("round-timeout", 0, "per-frame MPC round timeout; a slow/dead silo fails the query instead of hanging it (protocol mode; 0 = no timeout)")
+		sacRetries   = flag.Int("sac-retries", 0, "bounded retries of a Fed-SAC round after a transient transport failure")
+		sacBackoff   = flag.Duration("sac-retry-backoff", 10*time.Millisecond, "backoff before the first Fed-SAC retry, doubled per retry")
 	)
 	flag.Parse()
 
@@ -63,7 +67,12 @@ func main() {
 	}
 	fmt.Printf("road network: %d vertices, %d arcs\n", g.NumVertices(), g.NumArcs())
 
-	cfg := fedroad.Config{Seed: *seed}
+	cfg := fedroad.Config{
+		Seed:            *seed,
+		RoundTimeout:    *roundTimeout,
+		SACRetries:      *sacRetries,
+		SACRetryBackoff: *sacBackoff,
+	}
 	if *protocol {
 		cfg.Mode = fedroad.ModeProtocol
 	}

@@ -34,6 +34,10 @@ func main() {
 		maxConc  = flag.Int("max-concurrent", 0, "max in-flight queries (0 = 4x GOMAXPROCS)")
 		prepool  = flag.Int("prepool", 0, "preprocessing pool capacity in comparisons (0 = off)")
 		poolWkrs = flag.Int("prepool-workers", 1, "preprocessing pool replenisher goroutines")
+
+		roundTimeout = flag.Duration("round-timeout", 0, "per-frame MPC round timeout; a slow/dead silo fails the query with 503/504 instead of hanging it (protocol mode; 0 = no timeout)")
+		sacRetries   = flag.Int("sac-retries", 0, "bounded retries of a Fed-SAC round after a transient transport failure")
+		sacBackoff   = flag.Duration("sac-retry-backoff", 10*time.Millisecond, "backoff before the first Fed-SAC retry, doubled per retry")
 	)
 	flag.Parse()
 
@@ -49,6 +53,9 @@ func main() {
 		Seed:              *seed,
 		PreprocessPool:    *prepool,
 		PreprocessWorkers: *poolWkrs,
+		RoundTimeout:      *roundTimeout,
+		SACRetries:        *sacRetries,
+		SACRetryBackoff:   *sacBackoff,
 	}
 	if *protocol {
 		cfg.Mode = fedroad.ModeProtocol
@@ -70,6 +77,7 @@ func main() {
 	}
 
 	srv := newServer(fed, *maxConc)
+	defer srv.Close()
 	log.Printf("serving up to %d concurrent queries", cap(srv.sem))
 	log.Printf("listening on http://%s", *addr)
 	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -28,10 +29,21 @@ import (
 // search. A semaphore bounds in-flight queries so a burst cannot pile up
 // unbounded goroutines and engine forks.
 type server struct {
-	fed      *fedroad.Federation
-	sem      chan struct{} // bounds in-flight queries
-	sessions sync.Pool     // of *fedroad.Session
-	queries  atomic.Int64  // queries served (route + knn)
+	fed     *fedroad.Federation
+	sem     chan struct{} // bounds in-flight queries
+	queries atomic.Int64  // queries served (route + knn)
+
+	// Sessions are reused through an explicit free-list rather than a
+	// sync.Pool: a GC'd pool entry would leak its transport endpoints
+	// (Close is never called on eviction) and pool entries forked before a
+	// federation-level setting change (e.g. SetRealNetworkDelay) would keep
+	// serving with stale settings indefinitely. The free-list closes every
+	// session it evicts, discards poisoned sessions instead of repooling
+	// them, and is drained by (*server).Close.
+	mu        sync.Mutex
+	free      []*fedroad.Session
+	closed    bool
+	discarded atomic.Int64 // poisoned sessions destroyed instead of repooled
 }
 
 // newServer builds a server bounding in-flight queries to maxConcurrent
@@ -40,19 +52,95 @@ func newServer(fed *fedroad.Federation, maxConcurrent int) *server {
 	if maxConcurrent <= 0 {
 		maxConcurrent = 4 * runtime.GOMAXPROCS(0)
 	}
-	s := &server{fed: fed, sem: make(chan struct{}, maxConcurrent)}
-	s.sessions.New = func() any { return fed.Session() }
-	return s
+	return &server{fed: fed, sem: make(chan struct{}, maxConcurrent)}
 }
 
-// withSession bounds concurrency and runs fn on a pooled query session.
-func (s *server) withSession(fn func(*fedroad.Session)) {
+// checkout takes a session from the free-list, forking a fresh one when the
+// list is empty.
+func (s *server) checkout() (*fedroad.Session, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errServerClosed
+	}
+	var sess *fedroad.Session
+	if n := len(s.free); n > 0 {
+		sess = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	}
+	s.mu.Unlock()
+	if sess == nil {
+		sess = s.fed.Session()
+	}
+	return sess, nil
+}
+
+// release returns a session to the free-list — unless it is poisoned (its
+// MPC engine hit an unrecoverable transport failure: close it and let the
+// next request fork a fresh one), the server is closed, or the list is
+// already at capacity. Every evicted session is closed, never dropped.
+func (s *server) release(sess *fedroad.Session) {
+	if sess.Poisoned() {
+		s.discarded.Add(1)
+		sess.Close()
+		return
+	}
+	s.mu.Lock()
+	if !s.closed && len(s.free) < cap(s.sem) {
+		s.free = append(s.free, sess)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	sess.Close()
+}
+
+// Close drains the free-list, closing every pooled session. In-flight
+// sessions are closed by release when their query finishes.
+func (s *server) Close() {
+	s.mu.Lock()
+	free := s.free
+	s.free = nil
+	s.closed = true
+	s.mu.Unlock()
+	for _, sess := range free {
+		sess.Close()
+	}
+}
+
+// withSession bounds concurrency and runs fn on a pooled query session,
+// returning fn's error.
+func (s *server) withSession(fn func(*fedroad.Session) error) error {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	sess := s.sessions.Get().(*fedroad.Session)
-	defer s.sessions.Put(sess)
+	sess, err := s.checkout()
+	if err != nil {
+		return err
+	}
 	s.queries.Add(1)
-	fn(sess)
+	err = fn(sess)
+	s.release(sess)
+	return err
+}
+
+// errServerClosed is returned by checkout after Close.
+var errServerClosed = errors.New("server closed")
+
+// queryStatus maps a query error to an HTTP status: a round timeout means a
+// slow or dead silo (504), any other unrecoverable transport failure means
+// the session died mid-protocol (503, and the session has been discarded —
+// retrying on a fresh session may succeed); everything else is a client
+// mistake (400).
+func queryStatus(err error) int {
+	switch {
+	case fedroad.IsTimeout(err):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, fedroad.ErrSessionPoisoned), errors.Is(err, errServerClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -117,11 +205,13 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	var route fedroad.Route
 	var stats fedroad.Stats
-	s.withSession(func(sess *fedroad.Session) {
-		route, stats, err = sess.ShortestPath(src, dst, queryOptions(r))
+	err = s.withSession(func(sess *fedroad.Session) error {
+		var qerr error
+		route, stats, qerr = sess.ShortestPath(src, dst, queryOptions(r))
+		return qerr
 	})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, queryStatus(err), err)
 		return
 	}
 	writeJSON(w, s.toResponse(route, stats))
@@ -158,11 +248,13 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	}
 	var routes []fedroad.Route
 	var stats fedroad.Stats
-	s.withSession(func(sess *fedroad.Session) {
-		routes, stats, err = sess.NearestNeighbors(src, k, queryOptions(r))
+	err = s.withSession(func(sess *fedroad.Session) error {
+		var qerr error
+		routes, stats, qerr = sess.NearestNeighbors(src, k, queryOptions(r))
+		return qerr
 	})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, queryStatus(err), err)
 		return
 	}
 	out := make([]routeResponse, len(routes))
@@ -212,9 +304,15 @@ func (s *server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 	hadIndex := s.fed.HasIndex()
 	stats, err := s.fed.ApplyTraffic(updates)
 	if err != nil {
-		// Validation re-runs inside ApplyTraffic; any error here is a bad
-		// request, not a server fault.
-		httpError(w, http.StatusBadRequest, err)
+		// Validation re-runs inside ApplyTraffic and tags its rejections
+		// with ErrInvalidUpdate — those are the client's fault. Anything
+		// else (a shortcut-index refresh failure after the weights were
+		// already validated) is an internal server failure.
+		code := http.StatusInternalServerError
+		if errors.Is(err, fedroad.ErrInvalidUpdate) {
+			code = http.StatusBadRequest
+		}
+		httpError(w, code, err)
 		return
 	}
 	var updated any
@@ -234,6 +332,13 @@ func (s *server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 	}{len(changes), updated})
 }
 
+// pooledIdle reports how many sessions sit in the free-list right now.
+func (s *server) pooledIdle() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.free)
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.fed.IndexStats()
 	pool := s.fed.PoolStats()
@@ -246,6 +351,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BuildSACs     int64 `json:"build_fed_sacs"`
 		QueriesServed int64 `json:"queries_served"`
 		MaxConcurrent int   `json:"max_concurrent"`
+		PooledIdle    int   `json:"pooled_sessions"`
+		Discarded     int64 `json:"poisoned_sessions_discarded"`
 		PoolProduced  int64 `json:"prepool_produced"`
 		PoolHits      int64 `json:"prepool_hits"`
 		PoolMisses    int64 `json:"prepool_misses"`
@@ -253,6 +360,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.fed.Graph().NumVertices(), s.fed.Graph().NumArcs(), s.fed.Silos(),
 		s.fed.HasIndex(), st.Shortcuts, st.SAC.Compares,
 		s.queries.Load(), cap(s.sem),
+		s.pooledIdle(), s.discarded.Load(),
 		pool.Produced, pool.Hits, pool.Misses,
 	})
 }

@@ -32,6 +32,7 @@
 package fedroad
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/mpc"
 	"repro/internal/pq"
 	"repro/internal/traffic"
+	"repro/internal/transport"
 )
 
 // Re-exported graph vocabulary.
@@ -161,7 +163,45 @@ type Config struct {
 	// sessions genuinely overlap their network waits. Off by default: index
 	// construction and benchmarks in analytic mode stay fast.
 	RealNetworkDelay bool
+
+	// RoundTimeout bounds how long any silo waits for a single protocol
+	// frame (protocol mode; 0 = wait forever). With it set, a slow or dead
+	// silo degrades a query into a clean wrapped error within roughly
+	// rounds×RoundTimeout instead of hanging the session forever.
+	RoundTimeout time.Duration
+	// SACRetries re-runs a Fed-SAC protocol round up to this many times
+	// after a transient transport failure (timeout or injected fault) before
+	// declaring the session's engine unusable. Default 0: fail on first
+	// error.
+	SACRetries int
+	// SACRetryBackoff is the sleep before the first retry, doubled per
+	// retry. Zero retries immediately.
+	SACRetryBackoff time.Duration
+
+	// TransportWrap, when set, wraps every MPC transport endpoint the
+	// federation and its sessions create. This is the chaos-testing hook:
+	// install transport.NewFaultConn here to drive queries through dropped,
+	// delayed, duplicated and killed links. Production configs leave it nil.
+	TransportWrap func(party int, c transport.Conn) transport.Conn
 }
+
+// ErrInvalidUpdate tags traffic updates rejected by validation (a client
+// mistake: silo/arc out of range, travel time outside bounds). Errors from
+// ApplyTraffic and SetTraffic that do NOT wrap ErrInvalidUpdate are internal
+// failures (e.g. a shortcut-index refresh error) — servers should map the
+// former to 4xx and the latter to 5xx.
+var ErrInvalidUpdate = errors.New("fedroad: invalid traffic update")
+
+// ErrSessionPoisoned tags query errors from a session whose MPC engine
+// suffered an unrecoverable transport failure. The session must be closed
+// and replaced; the federation itself remains healthy and fresh sessions
+// work. Check with errors.Is.
+var ErrSessionPoisoned = mpc.ErrPoisoned
+
+// IsTimeout reports whether a query error stems from the configured
+// per-round timeout (or a socket deadline) expiring — the signature of a
+// slow or dead silo, as opposed to a bad request.
+func IsTimeout(err error) bool { return transport.IsTimeout(err) }
 
 // Federation is the top-level handle: the shared topology, the private
 // silos, the MPC engine and (once built) the pre-computed structures.
@@ -195,7 +235,13 @@ func New(g *Graph, w0 Weights, siloWeights []Weights, cfg ...Config) (*Federatio
 	if c.Landmarks == 0 {
 		c.Landmarks = 32
 	}
-	params := mpc.Params{Seed: c.Seed, RealDelay: c.RealNetworkDelay}
+	params := mpc.Params{
+		Seed:         c.Seed,
+		RealDelay:    c.RealNetworkDelay,
+		RoundTimeout: c.RoundTimeout,
+		Retry:        mpc.RetryPolicy{Attempts: c.SACRetries, Backoff: c.SACRetryBackoff},
+		Wrap:         c.TransportWrap,
+	}
 	if c.Mode == ModeProtocol {
 		params.Mode = mpc.ModeProtocol
 	}
@@ -389,13 +435,13 @@ func (f *Federation) SetTraffic(silo int, a Arc, travelTimeMs int64) error {
 
 func (f *Federation) validateTraffic(silo int, a Arc, travelTimeMs int64) error {
 	if silo < 0 || silo >= f.Silos() {
-		return fmt.Errorf("fedroad: silo %d out of range [0,%d)", silo, f.Silos())
+		return fmt.Errorf("%w: silo %d out of range [0,%d)", ErrInvalidUpdate, silo, f.Silos())
 	}
 	if int(a) < 0 || int(a) >= f.Graph().NumArcs() {
-		return fmt.Errorf("fedroad: arc %d out of range [0,%d)", a, f.Graph().NumArcs())
+		return fmt.Errorf("%w: arc %d out of range [0,%d)", ErrInvalidUpdate, a, f.Graph().NumArcs())
 	}
 	if travelTimeMs <= 0 || travelTimeMs >= MaxTravelMs {
-		return fmt.Errorf("fedroad: travel time %dms outside (0,%d)", travelTimeMs, MaxTravelMs)
+		return fmt.Errorf("%w: travel time %dms outside (0,%d)", ErrInvalidUpdate, travelTimeMs, MaxTravelMs)
 	}
 	return nil
 }

@@ -259,8 +259,25 @@ func (e *Engine) batchCostFor(k int) (batchCost, error) {
 	return c, nil
 }
 
-// runBatchProtocol executes one batched comparison across party goroutines.
+// runBatchProtocol executes a batched comparison under the engine's failure
+// policy (transient-failure retry with drained transport, poisoning on
+// unrecoverable errors — see retryProtocol).
 func (e *Engine) runBatchProtocol(diffs [][]int64) ([]bool, error) {
+	var result []bool
+	err := e.retryProtocol(func() error {
+		var err error
+		result, err = e.runBatchProtocolOnce(diffs)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// runBatchProtocolOnce executes one batched comparison across party
+// goroutines.
+func (e *Engine) runBatchProtocolOnce(diffs [][]int64) ([]bool, error) {
 	k := len(diffs)
 	tuples := make([][]CmpTuple, e.n) // [party][instance]
 	for p := 0; p < e.n; p++ {

@@ -1,6 +1,7 @@
 package mpc
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -9,6 +10,14 @@ import (
 
 	"repro/internal/transport"
 )
+
+// ErrPoisoned is returned (wrapped) by every comparison after the engine has
+// suffered an unrecoverable transport failure. A poisoned engine's transport
+// streams are in an unknown state — possibly desynchronized mid-round — so
+// continuing could produce silently wrong comparison bits; the engine
+// instead fails fast and its owner must discard it (sessions: close the
+// session and open a fresh one).
+var ErrPoisoned = errors.New("mpc: engine poisoned by unrecoverable transport failure")
 
 // Mode selects how the engine executes comparisons.
 type Mode int
@@ -39,6 +48,16 @@ func DefaultLAN() NetworkModel {
 	return NetworkModel{Latency: 200 * time.Microsecond, Bandwidth: 1e9}
 }
 
+// RetryPolicy bounds protocol-round retries after transient transport
+// failures (timeouts, injected faults). The zero value disables retry.
+type RetryPolicy struct {
+	// Attempts is how many times a failed protocol run is retried (so a
+	// comparison executes at most Attempts+1 times).
+	Attempts int
+	// Backoff is the sleep before the first retry; it doubles per retry.
+	Backoff time.Duration
+}
+
 // Params configures an Engine.
 type Params struct {
 	Parties int
@@ -51,6 +70,23 @@ type Params struct {
 	// reflect the paper's cost model and concurrent engine forks overlap
 	// their network waits.
 	RealDelay bool
+
+	// RoundTimeout bounds how long any party waits for a single frame during
+	// a protocol round (protocol mode; 0 = wait forever). With it set, a
+	// slow or dead peer turns into a clean wrapped transport.ErrRoundTimeout
+	// instead of a goroutine blocked for the life of the process.
+	RoundTimeout time.Duration
+
+	// Retry re-runs a protocol round after a transient failure (see
+	// transport.Transient). Non-transient failures — and transient ones that
+	// outlive the retry budget — poison the engine.
+	Retry RetryPolicy
+
+	// Wrap, when set, wraps every party endpoint the engine creates (root
+	// and forks). Chaos tests install transport.FaultConn here to drive the
+	// protocols through drops, delays, duplicates, errors and mid-round
+	// closes without touching protocol code.
+	Wrap func(party int, c transport.Conn) transport.Conn
 }
 
 // Stats aggregates the cost of all comparisons executed by an engine.
@@ -104,6 +140,17 @@ type Engine struct {
 	// realDelay mirrors whether mem currently applies netm in real time.
 	realDelay bool
 
+	// roundTimeout, retry and wrap carry the failure policy (see Params);
+	// inherited by forks.
+	roundTimeout time.Duration
+	retry        RetryPolicy
+	wrap         func(party int, c transport.Conn) transport.Conn
+
+	// poisoned is set after an unrecoverable transport failure: the engine's
+	// streams may be desynchronized, so every later comparison fails fast
+	// with ErrPoisoned instead of risking a silently wrong bit.
+	poisoned bool
+
 	// pool, when attached, serves pre-generated correlated randomness to
 	// runProtocol/runBatchProtocol ahead of the dealer.
 	pool *Pool
@@ -153,18 +200,22 @@ func NewEngine(p Params) (*Engine, error) {
 	}
 	e := &Engine{
 		n: p.Parties, mode: p.Mode, netm: p.Net, seed: p.Seed,
-		dealer:  NewDealer(p.Parties, p.Seed),
-		forkCtr: new(atomic.Uint64),
-		calib:   &batchCalib{costs: make(map[int]batchCost)},
+		dealer:       NewDealer(p.Parties, p.Seed),
+		forkCtr:      new(atomic.Uint64),
+		calib:        &batchCalib{costs: make(map[int]batchCost)},
+		roundTimeout: p.RoundTimeout,
+		retry:        p.Retry,
+		wrap:         p.Wrap,
 	}
 	e.rngs = make([]*rand.Rand, e.n)
 	for i := range e.rngs {
 		e.rngs[i] = rand.New(rand.NewPCG(p.Seed+uint64(i)*0x9e3779b97f4a7c15, uint64(i)+1))
 	}
 	e.mem = transport.NewMem(e.n)
+	e.mem.SetRecvTimeout(e.roundTimeout)
 	e.conns = make([]transport.Conn, e.n)
 	for i := range e.conns {
-		e.conns[i] = e.mem.Conn(i)
+		e.conns[i] = e.wrapConn(i, e.mem.Conn(i))
 	}
 
 	// Calibrate: one real protocol run, then zero the counters. The protocol
@@ -196,24 +247,41 @@ func (e *Engine) Fork() *Engine {
 	seed := e.seed + id*0xd1342543de82ef95 // distinct odd-multiplier stream per fork
 	f := &Engine{
 		n: e.n, mode: e.mode, netm: e.netm, seed: e.seed,
-		dealer:   NewDealer(e.n, seed),
-		forkCtr:  e.forkCtr,
-		calib:    e.calib,
-		pool:     e.pool,
-		cmpBytes: e.cmpBytes, cmpMsgs: e.cmpMsgs, cmpSimNet: e.cmpSimNet,
+		dealer:       NewDealer(e.n, seed),
+		forkCtr:      e.forkCtr,
+		calib:        e.calib,
+		pool:         e.pool,
+		roundTimeout: e.roundTimeout,
+		retry:        e.retry,
+		wrap:         e.wrap,
+		cmpBytes:     e.cmpBytes, cmpMsgs: e.cmpMsgs, cmpSimNet: e.cmpSimNet,
 	}
 	f.rngs = make([]*rand.Rand, f.n)
 	for i := range f.rngs {
 		f.rngs[i] = rand.New(rand.NewPCG(seed+uint64(i)*0x9e3779b97f4a7c15, uint64(i)+1))
 	}
 	f.mem = transport.NewMem(f.n)
+	f.mem.SetRecvTimeout(f.roundTimeout)
 	f.conns = make([]transport.Conn, f.n)
 	for i := range f.conns {
-		f.conns[i] = f.mem.Conn(i)
+		f.conns[i] = f.wrapConn(i, f.mem.Conn(i))
 	}
 	f.SetRealDelay(e.realDelay)
 	return f
 }
+
+// wrapConn applies the configured transport wrapper (fault injection), if any.
+func (e *Engine) wrapConn(party int, c transport.Conn) transport.Conn {
+	if e.wrap == nil {
+		return c
+	}
+	return e.wrap(party, c)
+}
+
+// Poisoned reports whether the engine has been disabled by an unrecoverable
+// transport failure. A poisoned engine fails every comparison fast with
+// ErrPoisoned; its owner should close it and fork a fresh one from the root.
+func (e *Engine) Poisoned() bool { return e.poisoned }
 
 // Close releases the engine's in-process transport endpoints. Optional: an
 // unclosed engine is reclaimed by the garbage collector.
@@ -319,8 +387,57 @@ func (e *Engine) CompareSums(a, b []int64) (bool, error) {
 	return e.Compare(diffs)
 }
 
-// runProtocol executes one full protocol comparison across party goroutines.
+// runProtocol executes a full protocol comparison, retrying transient
+// transport failures under the engine's retry policy. A failure that
+// survives the retry budget — or is not transient at all — poisons the
+// engine.
 func (e *Engine) runProtocol(diffs []int64) (bool, error) {
+	var result bool
+	err := e.retryProtocol(func() error {
+		var err error
+		result, err = e.runProtocolOnce(diffs)
+		return err
+	})
+	if err != nil {
+		return false, err
+	}
+	return result, nil
+}
+
+// retryProtocol runs one protocol execution under the engine's failure
+// policy: transient failures (timeouts, injected faults — see
+// transport.Transient) are retried with exponential backoff up to the retry
+// budget, with the in-process transport drained between attempts so a replay
+// never reads stale frames of the aborted round. Any other failure, or a
+// transient one that exhausts the budget, poisons the engine: its party
+// streams may be desynchronized mid-round, and replaying against them could
+// open garbage as a comparison bit.
+func (e *Engine) retryProtocol(run func() error) error {
+	if e.poisoned {
+		return ErrPoisoned
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = run()
+		if err == nil {
+			return nil
+		}
+		if attempt >= e.retry.Attempts || !transport.Transient(err) {
+			break
+		}
+		e.mem.Drain()
+		e.mem.ResetStats()
+		if e.retry.Backoff > 0 {
+			time.Sleep(e.retry.Backoff << min(attempt, 16))
+		}
+	}
+	e.poisoned = true
+	return fmt.Errorf("%w: %w", ErrPoisoned, err)
+}
+
+// runProtocolOnce executes one full protocol comparison across party
+// goroutines.
+func (e *Engine) runProtocolOnce(diffs []int64) (bool, error) {
 	tuples := e.tuplesForCompare()
 	results := make([]bool, e.n)
 	errs := make([]error, e.n)

@@ -266,3 +266,39 @@ func TestRealDelaySlowsProtocol(t *testing.T) {
 		t.Fatalf("delay-free comparison (%v) slower than delayed one (%v)", fastElapsed, elapsed)
 	}
 }
+
+func TestPoolCloseSemantics(t *testing.T) {
+	p := NewPool(3, 8, 2, 16)
+	waitForBuffer(t, p, 8)
+	p.Close()
+	p.Close() // double close must not panic or deadlock
+
+	// Every tuple set buffered before Close stays takeable after it.
+	buffered := p.Stats().Buffered
+	if buffered != 8 {
+		t.Fatalf("buffered after close = %d, want 8", buffered)
+	}
+	for i := 0; i < buffered; i++ {
+		if tuples := p.TakeTuples(); len(tuples) != 3 {
+			t.Fatalf("take %d after close: tuple set of size %d", i, len(tuples))
+		}
+	}
+
+	// Once dry, TakeTuples reports a miss immediately — it must never block,
+	// even with the replenishers gone.
+	done := make(chan []CmpTuple, 1)
+	go func() { done <- p.TakeTuples() }()
+	select {
+	case tuples := <-done:
+		if tuples != nil {
+			t.Fatalf("dry closed pool returned tuples: %v", tuples)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("TakeTuples blocked on a dry closed pool")
+	}
+	st := p.Stats()
+	if st.Hits != int64(buffered) || st.Misses != 1 {
+		t.Fatalf("stats after drain = %+v, want %d hits / 1 miss", st, buffered)
+	}
+	p.Close() // close after drain is still safe
+}

@@ -1,0 +1,103 @@
+package pq
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// batchedPair returns two TM-trees over the same comparator, one with the
+// batched tournament build enabled. Both count comparisons identically, so
+// any divergence in winners or Build counts is a batching bug.
+func batchedPair() (seq, bat *TMTree[int]) {
+	seq = NewTMTree[int](intLess, 4)
+	bat = NewTMTree[int](intLess, 4)
+	bat.SetBatchLess(func(pairs [][2]int) []bool {
+		res := make([]bool, len(pairs))
+		for i, p := range pairs {
+			res[i] = intLess(p[0], p[1])
+		}
+		return res
+	})
+	return seq, bat
+}
+
+func TestTMTreeBatchedBuildEquivalence(t *testing.T) {
+	// Randomized batch sizes with plenty of duplicates, interleaved with
+	// pops: the batched tournament build must produce the same winners (same
+	// pop sequence) and charge the same Build comparisons as the sequential
+	// build it replaces.
+	rng := rand.New(rand.NewPCG(41, 0))
+	seq, bat := batchedPair()
+	live := 0
+	for step := 0; step < 120; step++ {
+		if live > 0 && rng.IntN(3) == 0 {
+			pops := 1 + rng.IntN(live)
+			for i := 0; i < pops; i++ {
+				a, aok := seq.Pop()
+				b, bok := bat.Pop()
+				if aok != bok || a != b {
+					t.Fatalf("step %d pop %d: sequential %d/%v vs batched %d/%v",
+						step, i, a, aok, b, bok)
+				}
+			}
+			live -= pops
+			continue
+		}
+		k := 1 + rng.IntN(50)
+		batch := make([]int, k)
+		for i := range batch {
+			batch[i] = rng.IntN(40) // small range: duplicates are common
+		}
+		seq.PushBatch(batch)
+		bat.PushBatch(batch)
+		live += k
+		if sc, bc := seq.Counts().Build, bat.Counts().Build; sc != bc {
+			t.Fatalf("step %d: Build comparisons diverged: sequential %d, batched %d", step, sc, bc)
+		}
+		if seq.Len() != bat.Len() {
+			t.Fatalf("step %d: Len %d vs %d", step, seq.Len(), bat.Len())
+		}
+	}
+
+	// Drain both and compare the full remaining order.
+	for {
+		a, aok := seq.Pop()
+		b, bok := bat.Pop()
+		if aok != bok || a != b {
+			t.Fatalf("drain: sequential %d/%v vs batched %d/%v", a, aok, b, bok)
+		}
+		if !aok {
+			break
+		}
+	}
+	if seq.Counts().Build != bat.Counts().Build {
+		t.Fatalf("final Build comparisons: sequential %d, batched %d",
+			seq.Counts().Build, bat.Counts().Build)
+	}
+}
+
+func TestTMTreeBatchedBuildMinimalComparisons(t *testing.T) {
+	// One batch of k items must cost exactly k-1 Build comparisons on both
+	// paths (the batched path must not pad odd levels with extra pairs).
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100} {
+		seq, bat := batchedPair()
+		batch := make([]int, k)
+		for i := range batch {
+			batch[i] = (i * 137) % 29
+		}
+		seq.PushBatch(batch)
+		bat.PushBatch(batch)
+		want := int64(k - 1)
+		if got := seq.Counts().Build; got != want {
+			t.Fatalf("k=%d: sequential Build = %d, want %d", k, got, want)
+		}
+		if got := bat.Counts().Build; got != want {
+			t.Fatalf("k=%d: batched Build = %d, want %d", k, got, want)
+		}
+		if a, aok := seq.Pop(); aok {
+			if b, bok := bat.Pop(); !bok || a != b {
+				t.Fatalf("k=%d: champions differ: %d vs %d", k, a, b)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,16 +22,26 @@ type TCPConn struct {
 	bytes int64
 	msgs  int64
 	mu    sync.Mutex
+
+	opTimeoutNs atomic.Int64 // per-operation deadline budget (0 = none)
 }
 
 // DialMesh establishes a full TCP mesh among n parties. addrs[i] is the
 // listen address of party i (e.g. "127.0.0.1:9001"). Party i accepts
 // connections from all j > i and dials all j < i; a 4-byte hello carrying the
 // dialer's party ID pairs sockets to parties. All parties must call DialMesh
-// concurrently. The timeout bounds the whole mesh setup.
+// concurrently. The timeout bounds the whole mesh setup, including every
+// hello read and write.
+//
+// On any setup failure both setup goroutines are cancelled and joined before
+// any established socket is closed, so a half-built mesh never races its own
+// teardown.
 func DialMesh(id, n int, addrs []string, timeout time.Duration) (*TCPConn, error) {
 	if len(addrs) != n {
 		return nil, fmt.Errorf("transport: %d addrs for %d parties", len(addrs), n)
+	}
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("transport: party %d out of range [0,%d)", id, n)
 	}
 	c := &TCPConn{
 		id:    id,
@@ -51,6 +62,21 @@ func DialMesh(id, n int, addrs []string, timeout time.Duration) (*TCPConn, error
 		defer ln.Close()
 	}
 
+	// stop cancels the side that is still running when the other side fails:
+	// closing the listener unblocks a pending Accept, and the dial retry loop
+	// polls the channel. Hello reads and writes are already bounded by the
+	// setup deadline, so a cancelled goroutine exits promptly either way.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() {
+		stopOnce.Do(func() {
+			close(stop)
+			if ln != nil {
+				ln.Close()
+			}
+		})
+	}
+
 	errc := make(chan error, 2)
 	go func() { // accept from higher-numbered parties
 		need := n - 1 - id
@@ -67,13 +93,17 @@ func DialMesh(id, n int, addrs []string, timeout time.Duration) (*TCPConn, error
 				errc <- fmt.Errorf("transport: accept: %w", err)
 				return
 			}
+			conn.SetReadDeadline(deadline)
 			var hello [4]byte
 			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				conn.Close()
 				errc <- fmt.Errorf("transport: hello: %w", err)
 				return
 			}
+			conn.SetReadDeadline(time.Time{})
 			peer := int(binary.LittleEndian.Uint32(hello[:]))
-			if peer <= id || peer >= n {
+			if peer <= id || peer >= n || c.peers[peer] != nil {
+				conn.Close()
 				errc <- fmt.Errorf("transport: bad hello from party %d", peer)
 				return
 			}
@@ -87,6 +117,12 @@ func DialMesh(id, n int, addrs []string, timeout time.Duration) (*TCPConn, error
 			var conn net.Conn
 			var err error
 			for {
+				select {
+				case <-stop:
+					errc <- fmt.Errorf("transport: dial %s: mesh setup cancelled", addrs[j])
+					return
+				default:
+				}
 				d := net.Dialer{Deadline: deadline}
 				conn, err = d.Dial("tcp", addrs[j])
 				if err == nil {
@@ -100,26 +136,56 @@ func DialMesh(id, n int, addrs []string, timeout time.Duration) (*TCPConn, error
 			}
 			var hello [4]byte
 			binary.LittleEndian.PutUint32(hello[:], uint32(id))
+			conn.SetWriteDeadline(deadline)
 			if _, err := conn.Write(hello[:]); err != nil {
+				conn.Close()
 				errc <- fmt.Errorf("transport: hello write: %w", err)
 				return
 			}
+			conn.SetWriteDeadline(time.Time{})
 			c.peers[j] = conn
 			c.rds[j] = bufio.NewReader(conn)
 		}
 		errc <- nil
 	}()
+
+	// Join BOTH goroutines before touching any socket: the first failure
+	// cancels the surviving goroutine, and only after it has exited is the
+	// half-built mesh torn down. Closing earlier would race the goroutines'
+	// writes to c.peers/c.rds.
+	var firstErr error
 	for i := 0; i < 2; i++ {
-		if err := <-errc; err != nil {
-			c.Close()
-			return nil, err
+		if err := <-errc; err != nil && firstErr == nil {
+			firstErr = err
+			cancel()
 		}
+	}
+	if firstErr != nil {
+		c.Close()
+		return nil, firstErr
 	}
 	return c, nil
 }
 
 func (c *TCPConn) Party() int { return c.id }
 func (c *TCPConn) N() int     { return c.n }
+
+// SetRoundTimeout bounds every subsequent Send and Recv on this endpoint
+// (0 disables the bound). An expired deadline surfaces as a wrapped
+// ErrRoundTimeout, so a slow or dead peer degrades a protocol round into a
+// clean error instead of blocking the party forever.
+func (c *TCPConn) SetRoundTimeout(d time.Duration) {
+	c.opTimeoutNs.Store(int64(d))
+}
+
+// opError normalizes a socket error: deadline expiries additionally wrap
+// ErrRoundTimeout so callers can classify without poking at net internals.
+func opError(verb string, peer int, err error) error {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return fmt.Errorf("transport: %s party %d: %w: %w", verb, peer, ErrRoundTimeout, err)
+	}
+	return fmt.Errorf("transport: %s party %d: %w", verb, peer, err)
+}
 
 // Send writes a length-prefixed frame to party `to`.
 func (c *TCPConn) Send(to int, data []byte) error {
@@ -128,13 +194,16 @@ func (c *TCPConn) Send(to int, data []byte) error {
 	}
 	c.wmu[to].Lock()
 	defer c.wmu[to].Unlock()
+	if d := time.Duration(c.opTimeoutNs.Load()); d > 0 {
+		c.peers[to].SetWriteDeadline(time.Now().Add(d))
+	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
 	if _, err := c.peers[to].Write(hdr[:]); err != nil {
-		return err
+		return opError("send to", to, err)
 	}
 	if _, err := c.peers[to].Write(data); err != nil {
-		return err
+		return opError("send to", to, err)
 	}
 	c.mu.Lock()
 	c.bytes += int64(len(data))
@@ -148,9 +217,12 @@ func (c *TCPConn) Recv(from int) ([]byte, error) {
 	if from < 0 || from >= c.n || from == c.id || c.rds[from] == nil {
 		return nil, fmt.Errorf("transport: invalid source %d", from)
 	}
+	if d := time.Duration(c.opTimeoutNs.Load()); d > 0 {
+		c.peers[from].SetReadDeadline(time.Now().Add(d))
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.rds[from], hdr[:]); err != nil {
-		return nil, err
+		return nil, opError("recv from", from, err)
 	}
 	size := binary.LittleEndian.Uint32(hdr[:])
 	if size > 1<<24 {
@@ -158,7 +230,7 @@ func (c *TCPConn) Recv(from int) ([]byte, error) {
 	}
 	data := make([]byte, size)
 	if _, err := io.ReadFull(c.rds[from], data); err != nil {
-		return nil, err
+		return nil, opError("recv from", from, err)
 	}
 	return data, nil
 }

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net"
 	"sync/atomic"
 	"time"
 )
@@ -39,6 +40,44 @@ type Conn interface {
 
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrRoundTimeout is returned (wrapped) when a Send or Recv exceeds the
+// endpoint's configured per-round timeout: the peer is slow or dead, but the
+// endpoint itself may still be usable. Callers decide whether to retry the
+// round or tear the session down.
+var ErrRoundTimeout = errors.New("transport: round timeout")
+
+// ErrTransient tags injected or environmental faults that a bounded retry of
+// the protocol round may clear (in contrast to ErrClosed, which is final).
+var ErrTransient = errors.New("transport: transient fault")
+
+// Transient reports whether err is worth retrying at the protocol-round
+// level: explicit transient faults and timeouts (a slow peer may catch up on
+// the next round) qualify; closed endpoints and structural errors do not.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrClosed) {
+		return false
+	}
+	if errors.Is(err, ErrTransient) || errors.Is(err, ErrRoundTimeout) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// IsTimeout reports whether err stems from a per-round deadline expiring —
+// either the in-process ErrRoundTimeout or a net.Error deadline on a real
+// socket.
+func IsTimeout(err error) bool {
+	if errors.Is(err, ErrRoundTimeout) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
 
 // Stats aggregates traffic over a network. Counters are totals across all
 // parties (every byte is counted once, at the sender).
@@ -71,6 +110,8 @@ type Mem struct {
 
 	latencyNs atomic.Int64  // one-way latency, nanoseconds (0 = off)
 	invBW     atomic.Uint64 // float64 bits of seconds-per-byte (0 = off)
+
+	recvTimeoutNs atomic.Int64 // per-Recv wait bound, nanoseconds (0 = none)
 }
 
 // NewMem creates an in-process network for n parties.
@@ -102,6 +143,44 @@ func (m *Mem) SetDelay(latency time.Duration, bytesPerSec float64) {
 		inv = 1 / bytesPerSec
 	}
 	m.invBW.Store(math.Float64bits(inv))
+}
+
+// SetRecvTimeout bounds how long any Recv on this network waits for a frame
+// to arrive (0 disables the bound). An expired wait fails with a wrapped
+// ErrRoundTimeout instead of blocking forever, so one dead party degrades a
+// protocol round into a clean error at its peers. The bound covers waiting
+// for a frame to be sent; the simulated delivery delay of SetDelay is paid
+// afterwards (it is bounded by the network model, not by peer liveness).
+func (m *Mem) SetRecvTimeout(d time.Duration) {
+	m.recvTimeoutNs.Store(int64(d))
+}
+
+// Drain discards every buffered in-flight message. Protocol-round retry uses
+// this between attempts: a failed round can leave stale frames mid-stream,
+// and replaying against them would desynchronize every later round. Callers
+// must ensure no party goroutine is mid-protocol when draining.
+func (m *Mem) Drain() {
+	for i := range m.chans {
+		for j, ch := range m.chans[i] {
+			if i == j {
+				continue
+			}
+			drainChan(ch)
+		}
+	}
+}
+
+func drainChan(ch chan memMsg) {
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+		default:
+			return
+		}
+	}
 }
 
 // Stats returns a snapshot of total traffic.
@@ -157,7 +236,19 @@ func (c *memConn) Recv(from int) ([]byte, error) {
 	if from == c.id || from < 0 || from >= c.net.n {
 		return nil, fmt.Errorf("transport: invalid source %d", from)
 	}
-	msg, ok := <-c.net.chans[from][c.id]
+	var msg memMsg
+	var ok bool
+	if to := time.Duration(c.net.recvTimeoutNs.Load()); to > 0 {
+		timer := time.NewTimer(to)
+		defer timer.Stop()
+		select {
+		case msg, ok = <-c.net.chans[from][c.id]:
+		case <-timer.C:
+			return nil, fmt.Errorf("transport: recv from %d: %w", from, ErrRoundTimeout)
+		}
+	} else {
+		msg, ok = <-c.net.chans[from][c.id]
+	}
 	if !ok {
 		return nil, ErrClosed
 	}

@@ -2,8 +2,11 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -395,5 +398,221 @@ func TestMemDelayedDelivery(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Fatalf("immediate message took %v", elapsed)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	if Transient(nil) || IsTimeout(nil) {
+		t.Fatal("nil error classified as a fault")
+	}
+	if Transient(ErrClosed) {
+		t.Fatal("closed endpoint classified as transient")
+	}
+	if !Transient(ErrTransient) || !Transient(ErrRoundTimeout) {
+		t.Fatal("transient sentinels not classified as transient")
+	}
+	if !IsTimeout(ErrRoundTimeout) || IsTimeout(ErrTransient) {
+		t.Fatal("timeout classification wrong on sentinels")
+	}
+	// Classification must survive wrapping through protocol layers.
+	wrapped := fmt.Errorf("mpc: party 1: %w", fmt.Errorf("transport: recv from 0: %w", ErrRoundTimeout))
+	if !Transient(wrapped) || !IsTimeout(wrapped) {
+		t.Fatalf("wrapped timeout not classified: %v", wrapped)
+	}
+}
+
+func TestMemRecvTimeout(t *testing.T) {
+	m := NewMem(2)
+	m.SetRecvTimeout(50 * time.Millisecond)
+	c0, c1 := m.Conn(0), m.Conn(1)
+
+	start := time.Now()
+	_, err := c0.Recv(1) // nobody sends: the wait must expire, not block
+	if err == nil {
+		t.Fatal("recv with no sender succeeded")
+	}
+	if !errors.Is(err, ErrRoundTimeout) || !IsTimeout(err) || !Transient(err) {
+		t.Fatalf("timeout not classified: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("bounded recv took %v", elapsed)
+	}
+
+	// An expired wait does not damage the endpoint.
+	if err := c1.Send(0, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c0.Recv(1); err != nil || string(got) != "late" {
+		t.Fatalf("recv after timeout = %q, %v", got, err)
+	}
+
+	// Zero disables the bound again.
+	m.SetRecvTimeout(0)
+	if err := c1.Send(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Recv(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemDrain(t *testing.T) {
+	m := NewMem(3)
+	c0, c1, c2 := m.Conn(0), m.Conn(1), m.Conn(2)
+	c0.Send(1, []byte("stale-a"))
+	c2.Send(1, []byte("stale-b"))
+	c1.Send(0, []byte("stale-c"))
+	m.Drain()
+
+	m.SetRecvTimeout(20 * time.Millisecond)
+	for _, probe := range []struct {
+		conn Conn
+		from int
+	}{{c1, 0}, {c1, 2}, {c0, 1}} {
+		if _, err := probe.conn.Recv(probe.from); !errors.Is(err, ErrRoundTimeout) {
+			t.Fatalf("stale frame survived drain at party %d from %d: %v",
+				probe.conn.Party(), probe.from, err)
+		}
+	}
+
+	// Fresh traffic flows after a drain.
+	if err := c0.Send(1, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c1.Recv(0); err != nil || string(got) != "fresh" {
+		t.Fatalf("recv after drain = %q, %v", got, err)
+	}
+
+	// Draining a network with a closed endpoint must not panic.
+	c2.Close()
+	m.Drain()
+}
+
+func TestTCPRoundTimeout(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	conns := make([]*TCPConn, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := DialMesh(i, 2, addrs, 5*time.Second)
+			if err == nil {
+				conns[i] = c
+			}
+		}(i)
+	}
+	wg.Wait()
+	if conns[0] == nil || conns[1] == nil {
+		t.Fatal("mesh setup failed")
+	}
+	defer conns[0].Close()
+	defer conns[1].Close()
+
+	conns[0].SetRoundTimeout(100 * time.Millisecond)
+	start := time.Now()
+	_, err := conns[0].Recv(1) // peer silent: the read deadline must fire
+	if err == nil {
+		t.Fatal("recv from a silent peer succeeded")
+	}
+	if !errors.Is(err, ErrRoundTimeout) || !IsTimeout(err) || !Transient(err) {
+		t.Fatalf("socket timeout not classified: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("bounded recv took %v", elapsed)
+	}
+
+	// The socket survives an expired deadline; later rounds proceed.
+	if err := conns[1].Send(0, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := conns[0].Recv(1); err != nil || string(got) != "late" {
+		t.Fatalf("recv after timeout = %q, %v", got, err)
+	}
+	conns[0].SetRoundTimeout(0)
+	if err := conns[1].Send(0, []byte("unbounded")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conns[0].Recv(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPDialMeshMidHandshakeFailure(t *testing.T) {
+	// Party 1 of 3 accepts from party 2 and dials party 0. We play both of
+	// its peers and fail the handshake on the accept side while the dial side
+	// is still working. The setup must cancel and join the dial goroutine
+	// before tearing the half-built mesh down — the old implementation closed
+	// the mesh while the dialer could still be installing peer sockets (a
+	// race, and with an unreachable peer it kept retrying until the full
+	// setup timeout). The error must surface promptly, well inside the
+	// generous 30s mesh timeout.
+	for round := 0; round < 8; round++ {
+		deadDialPeer := round%2 == 0
+		addrs := freeAddrs(t, 3)
+
+		var party0 net.Listener
+		if deadDialPeer {
+			addrs[0] = "127.0.0.1:1" // refused: the dial loop retries until cancelled
+		} else {
+			var err error
+			party0, err = net.Listen("tcp", addrs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			go func() { // complete party 1's dial-side handshake, then idle
+				conn, err := party0.Accept()
+				if err != nil {
+					return
+				}
+				var hello [4]byte
+				io.ReadFull(conn, hello[:])
+			}()
+		}
+
+		done := make(chan error, 1)
+		go func() {
+			c, err := DialMesh(1, 3, addrs, 30*time.Second)
+			if c != nil {
+				c.Close()
+			}
+			done <- err
+		}()
+
+		// Fake party 2: connect to party 1's listener and send a malformed
+		// hello claiming to be party 0 (only higher-numbered parties may
+		// introduce themselves on the accept side).
+		var bad net.Conn
+		var err error
+		for i := 0; ; i++ {
+			bad, err = net.Dial("tcp", addrs[1])
+			if err == nil {
+				break
+			}
+			if i > 2000 {
+				t.Fatal("party 1 never started listening")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		var hello [4]byte // hello for "party 0"
+		if _, err := bad.Write(hello[:]); err != nil {
+			t.Fatal(err)
+		}
+
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("mesh setup with a malformed hello succeeded")
+			}
+			if !strings.Contains(err.Error(), "bad hello") {
+				t.Fatalf("unexpected setup error: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("DialMesh did not cancel the surviving setup goroutine")
+		}
+		bad.Close()
+		if party0 != nil {
+			party0.Close()
+		}
 	}
 }

@@ -46,6 +46,12 @@ func (s *Session) Stats() SACStats { return s.inner.Engine().Stats() }
 // long-lived servers.
 func (s *Session) Close() { s.inner.Engine().Close() }
 
+// Poisoned reports whether the session's MPC engine was disabled by an
+// unrecoverable transport failure. A poisoned session fails every further
+// query fast (wrapping ErrSessionPoisoned); callers must Close it and open a
+// fresh session — the federation itself remains healthy.
+func (s *Session) Poisoned() bool { return s.inner.Engine().Poisoned() }
+
 // oneOpt validates the variadic options idiom shared by the query methods.
 func oneOpt(opts []QueryOptions) (QueryOptions, error) {
 	switch len(opts) {
@@ -81,7 +87,7 @@ func (s *Session) shortestPathLocked(src, dst Vertex, opt QueryOptions) (Route, 
 	}
 	res, stats, err := e.SPSP(src, dst)
 	if err != nil {
-		return Route{}, Stats{}, err
+		return Route{}, Stats{}, fmt.Errorf("fedroad: shortest path %d->%d: %w", src, dst, err)
 	}
 	return Route{Path: res.Path, Partials: res.Partial, Found: res.Found}, stats, nil
 }
@@ -113,7 +119,7 @@ func (s *Session) nearestNeighborsLocked(src Vertex, k int, opt QueryOptions) ([
 	}
 	results, stats, err := e.SSSP(src, k)
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, Stats{}, fmt.Errorf("fedroad: %d-nearest from %d: %w", k, src, err)
 	}
 	routes := make([]Route, len(results))
 	for i, r := range results {
