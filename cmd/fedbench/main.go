@@ -4,13 +4,19 @@
 //
 // Usage:
 //
-//	fedbench [flags] all|fig1|tab1|fig7|fig8|fig9|tab2|fig10|fig11|fig12|ablate
+//	fedbench [flags] all|fig1|tab1|fig7|fig8|fig9|tab2|fig10|fig11|fig12|ablate|bench
 //
 // Examples:
 //
 //	fedbench all                       # full suite at default scale
 //	fedbench -datasets CAL-S fig7      # one dataset
 //	fedbench -max-vertices 2000 all    # scaled-down quick run
+//	fedbench -json BENCH_run.json bench  # machine-readable percentile report
+//
+// The bench experiment runs the comparative sweep and emits a JSON report
+// (per-configuration latency percentiles plus mean Fed-SAC/round/byte
+// counts) to the -json path — the format CI archives as BENCH_*.json. The
+// -json flag also works with fig7/fig8, which run the same sweep.
 package main
 
 import (
@@ -38,10 +44,11 @@ func main() {
 		protocol  = flag.Bool("protocol", false, "run the full MPC protocol instead of the calibrated ideal mode")
 		latency   = flag.Duration("latency", 200*time.Microsecond, "modeled one-way network latency")
 		bandwidth = flag.Float64("bandwidth", 1e9, "modeled bandwidth in bytes/s")
+		jsonOut   = flag.String("json", "", "write a machine-readable BENCH_*.json report (bench, fig7, fig8)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fedbench [flags] all|fig1|tab1|fig7|fig8|fig9|tab2|fig10|fig11|fig12|ablate")
+		fmt.Fprintln(os.Stderr, "usage: fedbench [flags] all|fig1|tab1|fig7|fig8|fig9|tab2|fig10|fig11|fig12|ablate|bench")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -100,6 +107,21 @@ func main() {
 				h.PrintFig7(res)
 			} else {
 				h.PrintFig8(res)
+			}
+			if err == nil && *jsonOut != "" {
+				err = h.BenchReport(flag.Arg(0), res).WriteFile(*jsonOut)
+			}
+		}
+	case "bench":
+		var res *expr.CompResult
+		if res, err = h.RunComparative(); err == nil {
+			h.PrintFig7(res)
+			out := *jsonOut
+			if out == "" {
+				out = "BENCH_report.json"
+			}
+			if err = h.BenchReport("bench", res).WriteFile(out); err == nil {
+				fmt.Printf("\nwrote %s\n", out)
 			}
 		}
 	case "fig9":

@@ -95,7 +95,12 @@ func main() {
 	}
 
 	if *knn > 0 {
-		routes, stats, err := fed.NearestNeighbors(fedroad.Vertex(*src), *knn, opt)
+		// kNN runs Fed-SSSP toward no fixed target: estimator options don't
+		// apply (the library rejects them), so pass only the queue choice.
+		// The -estimator flag default would otherwise turn every kNN query
+		// into a validation error.
+		knnOpt := fedroad.QueryOptions{Queue: opt.Queue}
+		routes, stats, err := fed.NearestNeighbors(fedroad.Vertex(*src), *knn, knnOpt)
 		fail(err)
 		fmt.Printf("\n%d nearest vertices to %d on the joint road network:\n", *knn, *src)
 		for i, r := range routes {
@@ -151,6 +156,9 @@ func printStats(st fedroad.Stats) {
 	fmt.Printf("cost: %d settled vertices, %d Fed-SACs, %d MPC rounds, %d bytes, %v local + %v simulated network\n",
 		st.SettledVertices, st.SAC.Compares, st.SAC.Rounds, st.SAC.Bytes,
 		st.WallTime.Round(time.Microsecond), st.SAC.SimNet.Round(time.Microsecond))
+	fmt.Printf("phases: %v queue, %v sac-wait, %v relax (sac-wait overlaps queue)\n",
+		st.Phases.Queue.Round(time.Microsecond), st.Phases.SACWait.Round(time.Microsecond),
+		st.Phases.Relax.Round(time.Microsecond))
 }
 
 func fail(err error) {

@@ -32,6 +32,7 @@ func main() {
 		noIndex  = flag.Bool("no-index", false, "skip building the shortcut index")
 		protocol = flag.Bool("protocol", false, "run the full MPC protocol per comparison (default: ideal mode with analytic cost accounting)")
 		maxConc  = flag.Int("max-concurrent", 0, "max in-flight queries (0 = 4x GOMAXPROCS)")
+		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof/* profiling handlers")
 		prepool  = flag.Int("prepool", 0, "preprocessing pool capacity in comparisons (0 = off)")
 		poolWkrs = flag.Int("prepool-workers", 1, "preprocessing pool replenisher goroutines")
 
@@ -77,7 +78,11 @@ func main() {
 	}
 
 	srv := newServer(fed, *maxConc)
+	srv.pprof = *pprofOn
 	defer srv.Close()
+	if srv.pprof {
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
 	log.Printf("serving up to %d concurrent queries", cap(srv.sem))
 	log.Printf("listening on http://%s", *addr)
 	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {

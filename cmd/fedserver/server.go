@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -12,15 +13,18 @@ import (
 	"time"
 
 	fedroad "repro"
+	"repro/internal/metrics"
 )
 
 // server wraps a federation behind an HTTP API:
 //
 //	GET  /route?s=<v>&t=<v>[&estimator=..][&queue=..][&batched=1][&noindex=1]
-//	GET  /knn?s=<v>&k=<n>
+//	GET  /knn?s=<v>&k=<n>[&queue=..][&batched=1]
 //	POST /traffic   body: [{"silo":0,"arc":17,"travel_ms":42000}, ...]
 //	GET  /stats
+//	GET  /metrics   (Prometheus text exposition)
 //	GET  /healthz
+//	GET  /debug/pprof/*   (only with -pprof)
 //
 // Queries run concurrently: each request checks out a query session (a
 // private MPC engine fork over the shared federation state) from a pool, so
@@ -32,6 +36,7 @@ type server struct {
 	fed     *fedroad.Federation
 	sem     chan struct{} // bounds in-flight queries
 	queries atomic.Int64  // queries served (route + knn)
+	pprof   bool          // mount /debug/pprof/* handlers
 
 	// Sessions are reused through an explicit free-list rather than a
 	// sync.Pool: a GC'd pool entry would leak its transport endpoints
@@ -44,6 +49,13 @@ type server struct {
 	free      []*fedroad.Session
 	closed    bool
 	discarded atomic.Int64 // poisoned sessions destroyed instead of repooled
+
+	// Session-pool and HTTP metrics live in the federation's registry, so
+	// GET /metrics exposes the full picture with one scrape.
+	mCheckouts *metrics.Counter // sessions handed to queries
+	mForks     *metrics.Counter // fresh sessions forked (free-list misses)
+	mEvicted   *metrics.Counter // healthy sessions closed (list full / server closed)
+	mDiscarded *metrics.Counter // poisoned sessions destroyed
 }
 
 // newServer builds a server bounding in-flight queries to maxConcurrent
@@ -52,7 +64,17 @@ func newServer(fed *fedroad.Federation, maxConcurrent int) *server {
 	if maxConcurrent <= 0 {
 		maxConcurrent = 4 * runtime.GOMAXPROCS(0)
 	}
-	return &server{fed: fed, sem: make(chan struct{}, maxConcurrent)}
+	s := &server{fed: fed, sem: make(chan struct{}, maxConcurrent)}
+	reg := fed.Metrics()
+	s.mCheckouts = reg.Counter("fedserver_sessions_checked_out_total", "query sessions handed to requests", nil)
+	s.mForks = reg.Counter("fedserver_sessions_forked_total", "fresh query sessions forked on free-list miss", nil)
+	s.mEvicted = reg.Counter("fedserver_sessions_evicted_total", "healthy sessions closed because the free-list was full or the server closed", nil)
+	s.mDiscarded = reg.Counter("fedserver_sessions_discarded_total", "poisoned sessions destroyed instead of repooled", nil)
+	reg.GaugeFunc("fedserver_sessions_idle", "sessions currently parked in the free-list", nil,
+		func() float64 { return float64(s.pooledIdle()) })
+	reg.GaugeFunc("fedserver_max_concurrent", "in-flight query bound", nil,
+		func() float64 { return float64(cap(s.sem)) })
+	return s
 }
 
 // checkout takes a session from the free-list, forking a fresh one when the
@@ -72,7 +94,9 @@ func (s *server) checkout() (*fedroad.Session, error) {
 	s.mu.Unlock()
 	if sess == nil {
 		sess = s.fed.Session()
+		s.mForks.Inc()
 	}
+	s.mCheckouts.Inc()
 	return sess, nil
 }
 
@@ -83,6 +107,7 @@ func (s *server) checkout() (*fedroad.Session, error) {
 func (s *server) release(sess *fedroad.Session) {
 	if sess.Poisoned() {
 		s.discarded.Add(1)
+		s.mDiscarded.Inc()
 		sess.Close()
 		return
 	}
@@ -93,6 +118,7 @@ func (s *server) release(sess *fedroad.Session) {
 		return
 	}
 	s.mu.Unlock()
+	s.mEvicted.Inc()
 	sess.Close()
 }
 
@@ -128,32 +154,110 @@ func (s *server) withSession(fn func(*fedroad.Session) error) error {
 var errServerClosed = errors.New("server closed")
 
 // queryStatus maps a query error to an HTTP status: a round timeout means a
-// slow or dead silo (504), any other unrecoverable transport failure means
+// slow or dead silo (504); any other unrecoverable transport failure means
 // the session died mid-protocol (503, and the session has been discarded —
-// retrying on a fresh session may succeed); everything else is a client
-// mistake (400).
+// retrying on a fresh session may succeed); a request-level mistake (bad
+// option combination, vertex out of range) is tagged ErrInvalidQuery by the
+// library (400). Everything else — e.g. an engine-construction failure after
+// a config change — is an internal server error, NOT the client's fault
+// (500).
 func queryStatus(err error) int {
 	switch {
 	case fedroad.IsTimeout(err):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, fedroad.ErrSessionPoisoned), errors.Is(err, errServerClosed):
 		return http.StatusServiceUnavailable
-	default:
+	case errors.Is(err, fedroad.ErrInvalidQuery):
 		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// statusWriter captures the response status for request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrumented wraps a handler with per-endpoint request counting (by status
+// class) and a latency histogram.
+func (s *server) instrumented(path string, h http.HandlerFunc) http.HandlerFunc {
+	reg := s.fed.Metrics()
+	lat := reg.Histogram("fedserver_http_request_seconds", "HTTP request latency by endpoint", nil,
+		metrics.Labels{"path": path})
+	byClass := make(map[int]*metrics.Counter)
+	for _, class := range []int{2, 4, 5} {
+		byClass[class] = reg.Counter("fedserver_http_requests_total", "HTTP requests by endpoint and status class",
+			metrics.Labels{"path": path, "code": fmt.Sprintf("%dxx", class)})
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		lat.Observe(time.Since(start).Seconds())
+		if c, ok := byClass[sw.status/100]; ok {
+			c.Inc()
+		}
 	}
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /route", s.handleRoute)
-	mux.HandleFunc("GET /knn", s.handleKNN)
-	mux.HandleFunc("POST /traffic", s.handleTraffic)
+	mux.HandleFunc("GET /route", s.instrumented("/route", s.handleRoute))
+	mux.HandleFunc("GET /knn", s.instrumented("/knn", s.handleKNN))
+	mux.HandleFunc("POST /traffic", s.instrumented("/traffic", s.handleTraffic))
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))
 	})
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// queryCost is the per-query cost block shared by /route (inlined) and /knn
+// (one aggregate for the whole Fed-SSSP run). Every field is a measurement
+// of the actual query — fabricating zeros is exactly the bug this struct's
+// split replaced.
+type queryCost struct {
+	FedSACs        int64 `json:"fed_sacs"`
+	MPCRounds      int64 `json:"mpc_rounds"`
+	MPCBytes       int64 `json:"mpc_bytes"`
+	SettledVerts   int   `json:"settled_vertices"`
+	HeuristicEvals int   `json:"heuristic_evals"`
+	LocalMicros    int64 `json:"local_us"`
+	QueueMicros    int64 `json:"queue_us"`
+	SACWaitMicros  int64 `json:"sac_wait_us"`
+	RelaxMicros    int64 `json:"relax_us"`
+	NetworkMicros  int64 `json:"simulated_network_us"`
+}
+
+func costOf(stats fedroad.Stats) queryCost {
+	return queryCost{
+		FedSACs:        stats.SAC.Compares,
+		MPCRounds:      stats.SAC.Rounds,
+		MPCBytes:       stats.SAC.Bytes,
+		SettledVerts:   stats.SettledVertices,
+		HeuristicEvals: stats.HeuristicEvals,
+		LocalMicros:    stats.WallTime.Microseconds(),
+		QueueMicros:    stats.Phases.Queue.Microseconds(),
+		SACWaitMicros:  stats.Phases.SACWait.Microseconds(),
+		RelaxMicros:    stats.Phases.Relax.Microseconds(),
+		NetworkMicros:  stats.SAC.SimNet.Microseconds(),
+	}
 }
 
 type routeResponse struct {
@@ -161,12 +265,22 @@ type routeResponse struct {
 	Path          []fedroad.Vertex `json:"path,omitempty"`
 	Segments      int              `json:"segments"`
 	MeanTravelSec float64          `json:"mean_travel_sec"`
-	FedSACs       int64            `json:"fed_sacs"`
-	MPCRounds     int64            `json:"mpc_rounds"`
-	MPCBytes      int64            `json:"mpc_bytes"`
-	SettledVerts  int              `json:"settled_vertices"`
-	LocalMicros   int64            `json:"local_us"`
-	NetworkMicros int64            `json:"simulated_network_us"`
+	queryCost
+}
+
+// knnNeighbor is one kNN result: route fields only. Per-query cost counters
+// live once in knnResponse.Stats — a per-neighbor breakdown does not exist
+// (the k routes come out of ONE Fed-SSSP run), so none is reported.
+type knnNeighbor struct {
+	Found         bool             `json:"found"`
+	Path          []fedroad.Vertex `json:"path,omitempty"`
+	Segments      int              `json:"segments"`
+	MeanTravelSec float64          `json:"mean_travel_sec"`
+}
+
+type knnResponse struct {
+	Results []knnNeighbor `json:"results"`
+	Stats   queryCost     `json:"stats"`
 }
 
 func (s *server) vertexParam(r *http.Request, name string) (fedroad.Vertex, error) {
@@ -218,21 +332,25 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) toResponse(route fedroad.Route, stats fedroad.Stats) routeResponse {
-	resp := routeResponse{
-		Found:         route.Found,
-		FedSACs:       stats.SAC.Compares,
-		MPCRounds:     stats.SAC.Rounds,
-		MPCBytes:      stats.SAC.Bytes,
-		SettledVerts:  stats.SettledVertices,
-		LocalMicros:   stats.WallTime.Microseconds(),
-		NetworkMicros: stats.SAC.SimNet.Microseconds(),
-	}
+	resp := routeResponse{queryCost: costOf(stats)}
+	resp.Found = route.Found
 	if route.Found {
 		resp.Path = route.Path
 		resp.Segments = len(route.Path) - 1
 		resp.MeanTravelSec = float64(fedroad.JointCost(route)) / float64(s.fed.Silos()) / 1000
 	}
 	return resp
+}
+
+// toNeighbor renders one kNN route without any cost fields.
+func (s *server) toNeighbor(route fedroad.Route) knnNeighbor {
+	n := knnNeighbor{Found: route.Found}
+	if route.Found {
+		n.Path = route.Path
+		n.Segments = len(route.Path) - 1
+		n.MeanTravelSec = float64(fedroad.JointCost(route)) / float64(s.fed.Silos()) / 1000
+	}
+	return n
 }
 
 func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -257,14 +375,13 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, queryStatus(err), err)
 		return
 	}
-	out := make([]routeResponse, len(routes))
+	// One Fed-SSSP run produced all k routes; its cost is reported once, not
+	// fabricated per neighbor.
+	out := knnResponse{Results: make([]knnNeighbor, len(routes)), Stats: costOf(stats)}
 	for i, rt := range routes {
-		out[i] = s.toResponse(rt, fedroad.Stats{})
+		out.Results[i] = s.toNeighbor(rt)
 	}
-	writeJSON(w, struct {
-		Results []routeResponse `json:"results"`
-		FedSACs int64           `json:"fed_sacs"`
-	}{out, stats.SAC.Compares})
+	writeJSON(w, out)
 }
 
 type trafficChange struct {
@@ -343,26 +460,36 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.fed.IndexStats()
 	pool := s.fed.PoolStats()
 	writeJSON(w, struct {
-		Vertices      int   `json:"vertices"`
-		Arcs          int   `json:"arcs"`
-		Silos         int   `json:"silos"`
-		HasIndex      bool  `json:"has_index"`
-		Shortcuts     int   `json:"shortcuts"`
-		BuildSACs     int64 `json:"build_fed_sacs"`
-		QueriesServed int64 `json:"queries_served"`
-		MaxConcurrent int   `json:"max_concurrent"`
-		PooledIdle    int   `json:"pooled_sessions"`
-		Discarded     int64 `json:"poisoned_sessions_discarded"`
-		PoolProduced  int64 `json:"prepool_produced"`
-		PoolHits      int64 `json:"prepool_hits"`
-		PoolMisses    int64 `json:"prepool_misses"`
+		Vertices      int                `json:"vertices"`
+		Arcs          int                `json:"arcs"`
+		Silos         int                `json:"silos"`
+		HasIndex      bool               `json:"has_index"`
+		Shortcuts     int                `json:"shortcuts"`
+		BuildSACs     int64              `json:"build_fed_sacs"`
+		QueriesServed int64              `json:"queries_served"`
+		MaxConcurrent int                `json:"max_concurrent"`
+		PooledIdle    int                `json:"pooled_sessions"`
+		Discarded     int64              `json:"poisoned_sessions_discarded"`
+		PoolProduced  int64              `json:"prepool_produced"`
+		PoolHits      int64              `json:"prepool_hits"`
+		PoolMisses    int64              `json:"prepool_misses"`
+		Metrics       map[string]float64 `json:"metrics"`
 	}{
 		s.fed.Graph().NumVertices(), s.fed.Graph().NumArcs(), s.fed.Silos(),
 		s.fed.HasIndex(), st.Shortcuts, st.SAC.Compares,
 		s.queries.Load(), cap(s.sem),
 		s.pooledIdle(), s.discarded.Load(),
 		pool.Produced, pool.Hits, pool.Misses,
+		s.fed.Metrics().Snapshot(),
 	})
+}
+
+// handleMetrics serves the federation registry in Prometheus text exposition
+// format (version 0.0.4). Everything — MPC counters, per-kind query metrics,
+// session-pool and HTTP metrics — lives in the one registry.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.fed.Metrics().WriteText(w)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -3,9 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
@@ -93,16 +97,16 @@ func TestRouteValidation(t *testing.T) {
 
 func TestKNNEndpoint(t *testing.T) {
 	ts, fed, joint := testServer(t)
-	var resp struct {
-		Results []routeResponse `json:"results"`
-		FedSACs int64           `json:"fed_sacs"`
-	}
+	var resp knnResponse
 	r := getJSON(t, ts.URL+"/knn?s=10&k=5", &resp)
 	if r.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", r.StatusCode)
 	}
-	if len(resp.Results) != 5 || resp.FedSACs == 0 {
+	if len(resp.Results) != 5 {
 		t.Fatalf("bad kNN response: %+v", resp)
+	}
+	if resp.Stats.FedSACs == 0 || resp.Stats.MPCRounds == 0 || resp.Stats.SettledVerts == 0 {
+		t.Fatalf("missing aggregate kNN stats: %+v", resp.Stats)
 	}
 	full := graph.Dijkstra(fed.Graph(), joint, 10)
 	for _, rr := range resp.Results {
@@ -114,6 +118,230 @@ func TestKNNEndpoint(t *testing.T) {
 	}
 	if r := getJSON(t, ts.URL+"/knn?s=10&k=0", nil); r.StatusCode != http.StatusBadRequest {
 		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestKNNNoFabricatedStats pins the satellite fix: per-neighbor entries carry
+// route fields only — the old handler rendered each route through
+// toResponse(rt, Stats{}), publishing fabricated zeroed fed_sacs/mpc_rounds
+// per result. Cost counters must appear exactly once, under "stats".
+func TestKNNNoFabricatedStats(t *testing.T) {
+	ts, _, _ := testServer(t)
+	var raw struct {
+		Results []map[string]any `json:"results"`
+		Stats   map[string]any   `json:"stats"`
+	}
+	if r := getJSON(t, ts.URL+"/knn?s=10&k=3", &raw); r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if len(raw.Results) == 0 {
+		t.Fatal("no results")
+	}
+	for i, rr := range raw.Results {
+		for _, key := range []string{"fed_sacs", "mpc_rounds", "mpc_bytes", "settled_vertices", "local_us"} {
+			if _, present := rr[key]; present {
+				t.Errorf("results[%d] carries per-route stat %q (fabricated in the old API)", i, key)
+			}
+		}
+	}
+	if v, ok := raw.Stats["fed_sacs"].(float64); !ok || v == 0 {
+		t.Errorf("aggregate stats.fed_sacs missing or zero: %v", raw.Stats["fed_sacs"])
+	}
+}
+
+// TestKNNBatchedReducesRounds pins the tentpole's motivating bug: batched=1
+// on /knn used to be dropped on the floor. With the option honored, the
+// TM-tree's tournament comparisons run as batched secure comparisons — one
+// protocol instance per tournament level — so the same query pays strictly
+// fewer MPC rounds (sequential Fed-SAC invocations) than its unbatched twin.
+func TestKNNBatchedReducesRounds(t *testing.T) {
+	ts, _, _ := testServer(t)
+	var plain, batched knnResponse
+	if r := getJSON(t, ts.URL+"/knn?s=10&k=5", &plain); r.StatusCode != http.StatusOK {
+		t.Fatalf("plain status %d", r.StatusCode)
+	}
+	if r := getJSON(t, ts.URL+"/knn?s=10&k=5&batched=1", &batched); r.StatusCode != http.StatusOK {
+		t.Fatalf("batched status %d", r.StatusCode)
+	}
+	if len(plain.Results) != len(batched.Results) {
+		t.Fatalf("result count diverged: %d vs %d", len(plain.Results), len(batched.Results))
+	}
+	if plain.Stats.MPCRounds == 0 || batched.Stats.MPCRounds == 0 {
+		t.Fatalf("rounds not accounted: plain %d, batched %d", plain.Stats.MPCRounds, batched.Stats.MPCRounds)
+	}
+	if batched.Stats.MPCRounds >= plain.Stats.MPCRounds {
+		t.Fatalf("batched=1 did not reduce MPC rounds: batched %d >= plain %d (option dropped?)",
+			batched.Stats.MPCRounds, plain.Stats.MPCRounds)
+	}
+}
+
+// TestKNNRejectsEstimator: estimator options cannot apply to targetless
+// Fed-SSSP and must be rejected loudly (400), not silently ignored.
+func TestKNNRejectsEstimator(t *testing.T) {
+	ts, _, _ := testServer(t)
+	if r := getJSON(t, ts.URL+"/knn?s=10&k=3&estimator=fed-amps", nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("estimator on kNN: status %d, want 400", r.StatusCode)
+	}
+	// batched=1 with a non-TM-tree queue is likewise a client mistake.
+	if r := getJSON(t, ts.URL+"/knn?s=10&k=3&batched=1&queue=heap", nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("batched+heap on kNN: status %d, want 400", r.StatusCode)
+	}
+}
+
+func TestQueryStatus(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("wrap: %w", fedroad.ErrInvalidQuery), http.StatusBadRequest},
+		{fmt.Errorf("wrap: %w", fedroad.ErrSessionPoisoned), http.StatusServiceUnavailable},
+		{errServerClosed, http.StatusServiceUnavailable},
+		// An unclassified error is an internal failure, not the client's
+		// fault: the old default of 400 hid engine bugs as user errors.
+		{errors.New("engine exploded"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := queryStatus(c.err); got != c.want {
+			t.Errorf("queryStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// parseMetrics reads Prometheus text exposition into name{labels} → value.
+func parseMetrics(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseMetrics(t, string(body))
+}
+
+// TestMetricsEndpoint scrapes /metrics around a batch of queries and checks
+// that the exposition parses and the core counters increase monotonically.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _, _ := testServer(t)
+	before := scrape(t, ts.URL)
+	for _, k := range []string{
+		"fedroad_mpc_compares_total",
+		`fedroad_queries_total{kind="spsp"}`,
+		`fedroad_queries_total{kind="sssp"}`,
+		"fedserver_sessions_checked_out_total",
+		"fedroad_graph_vertices",
+	} {
+		if _, ok := before[k]; !ok {
+			t.Fatalf("metric %s missing from exposition", k)
+		}
+	}
+
+	getJSON(t, ts.URL+"/route?s=3&t=200", nil)
+	getJSON(t, ts.URL+"/knn?s=10&k=3", nil)
+	getJSON(t, ts.URL+"/route?s=1&t=2&queue=bogus", nil) // counted as an error
+
+	after := scrape(t, ts.URL)
+	monotone := []string{
+		"fedroad_mpc_compares_total",
+		"fedroad_mpc_rounds_total",
+		`fedroad_queries_total{kind="spsp"}`,
+		`fedroad_queries_total{kind="sssp"}`,
+		`fedroad_query_seconds_count{kind="spsp"}`,
+		`fedroad_query_settled_vertices_total{kind="sssp"}`,
+		"fedserver_sessions_checked_out_total",
+		`fedserver_http_requests_total{code="2xx",path="/route"}`,
+		`fedserver_http_request_seconds_count{path="/knn"}`,
+	}
+	for _, k := range monotone {
+		if after[k] <= before[k] {
+			t.Errorf("%s did not increase: %v -> %v", k, before[k], after[k])
+		}
+	}
+	if inc := after[`fedroad_query_errors_total{kind="spsp"}`] - before[`fedroad_query_errors_total{kind="spsp"}`]; inc != 1 {
+		t.Errorf("spsp error counter moved by %v, want 1", inc)
+	}
+	if inc := after[`fedserver_http_requests_total{code="4xx",path="/route"}`] - before[`fedserver_http_requests_total{code="4xx",path="/route"}`]; inc != 1 {
+		t.Errorf("/route 4xx counter moved by %v, want 1", inc)
+	}
+}
+
+// TestStatsIncludesMetricsSnapshot: /stats folds the registry snapshot in.
+func TestStatsIncludesMetricsSnapshot(t *testing.T) {
+	ts, _, _ := testServer(t)
+	getJSON(t, ts.URL+"/route?s=3&t=200", nil)
+	var st struct {
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if r := getJSON(t, ts.URL+"/stats", &st); r.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", r.StatusCode)
+	}
+	if st.Metrics == nil {
+		t.Fatal("/stats has no metrics snapshot")
+	}
+	if st.Metrics[`fedroad_queries_total{kind="spsp"}`] < 1 {
+		t.Errorf("snapshot missing query counter: %v", st.Metrics)
+	}
+}
+
+// TestPprofGated: /debug/pprof/* exists only with -pprof.
+func TestPprofGated(t *testing.T) {
+	ts, _, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof served without -pprof")
+	}
+
+	g, w0 := fedroad.GenerateRoadNetwork(60, 7)
+	silosW := fedroad.SimulateCongestion(w0, 2, fedroad.Moderate, 8)
+	fed, err := fedroad.New(g, w0, silosW, fedroad.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(fed, 2)
+	srv.pprof = true
+	ts2 := httptest.NewServer(srv.routes())
+	t.Cleanup(func() { ts2.Close(); srv.Close(); fed.Close() })
+	resp, err = http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d with -pprof", resp.StatusCode)
 	}
 }
 

@@ -43,6 +43,7 @@ import (
 	"repro/internal/fed"
 	"repro/internal/graph"
 	"repro/internal/lb"
+	"repro/internal/metrics"
 	"repro/internal/mpc"
 	"repro/internal/pq"
 	"repro/internal/traffic"
@@ -198,6 +199,14 @@ var ErrInvalidUpdate = errors.New("fedroad: invalid traffic update")
 // work. Check with errors.Is.
 var ErrSessionPoisoned = mpc.ErrPoisoned
 
+// ErrInvalidQuery tags query errors caused by the request itself: an unknown
+// estimator or queue kind, an option combination the engine rejects (e.g.
+// BatchedMPC without the TM-tree, an estimator on a kNN query), or vertices
+// outside the graph. Servers should map these to 4xx; query errors NOT
+// wrapping ErrInvalidQuery (or ErrSessionPoisoned / a timeout) are internal
+// failures and belong in the 5xx class. Check with errors.Is.
+var ErrInvalidQuery = errors.New("fedroad: invalid query")
+
 // IsTimeout reports whether a query error stems from the configured
 // per-round timeout (or a socket deadline) expiring — the signature of a
 // slow or dead silo, as opposed to a bad request.
@@ -219,6 +228,24 @@ type Federation struct {
 	lm    *lb.Landmarks
 	cfg   Config
 	pool  *mpc.Pool
+
+	// reg is the federation's metrics registry: MPC cost counters (fed by
+	// every engine fork), per-query latency histograms and phase timings,
+	// and preprocessing-pool gauges. Servers fold their own HTTP and
+	// session-pool metrics into the same registry via Metrics().
+	reg *metrics.Registry
+	qm  map[string]*queryMetricSet
+}
+
+// queryMetricSet is the per-query-kind ("spsp", "sssp") instrument bundle.
+type queryMetricSet struct {
+	total, errors *metrics.Counter
+	latency       *metrics.Histogram
+	settled       *metrics.Counter
+	heuristics    *metrics.Counter
+	phaseQueue    *metrics.Counter
+	phaseSAC      *metrics.Counter
+	phaseRelax    *metrics.Counter
 }
 
 // New assembles a federation of len(siloWeights) silos over the shared
@@ -235,12 +262,14 @@ func New(g *Graph, w0 Weights, siloWeights []Weights, cfg ...Config) (*Federatio
 	if c.Landmarks == 0 {
 		c.Landmarks = 32
 	}
+	reg := metrics.NewRegistry()
 	params := mpc.Params{
 		Seed:         c.Seed,
 		RealDelay:    c.RealNetworkDelay,
 		RoundTimeout: c.RoundTimeout,
 		Retry:        mpc.RetryPolicy{Attempts: c.SACRetries, Backoff: c.SACRetryBackoff},
 		Wrap:         c.TransportWrap,
+		Instr:        mpc.NewInstruments(reg),
 	}
 	if c.Mode == ModeProtocol {
 		params.Mode = mpc.ModeProtocol
@@ -258,15 +287,80 @@ func New(g *Graph, w0 Weights, siloWeights []Weights, cfg ...Config) (*Federatio
 	if err != nil {
 		return nil, err
 	}
-	f := &Federation{inner: inner, cfg: c}
+	f := &Federation{inner: inner, cfg: c, reg: reg}
+	f.initMetrics()
 	if c.PreprocessPool > 0 {
 		f.pool = mpc.NewPool(len(siloWeights), c.PreprocessPool, c.PreprocessWorkers, c.Seed^0x5f3759df)
 		if err := inner.Engine().AttachPool(f.pool); err != nil {
 			f.pool.Close()
 			return nil, err
 		}
+		pool := f.pool
+		reg.CounterFunc("fedroad_prepool_produced_total", "correlated-randomness tuple sets generated by the preprocessing pool", nil,
+			func() float64 { return float64(pool.Stats().Produced) })
+		reg.CounterFunc("fedroad_prepool_hits_total", "comparisons served from the preprocessing pool", nil,
+			func() float64 { return float64(pool.Stats().Hits) })
+		reg.CounterFunc("fedroad_prepool_misses_total", "comparisons that fell back to on-demand randomness generation", nil,
+			func() float64 { return float64(pool.Stats().Misses) })
+		reg.GaugeFunc("fedroad_prepool_buffered", "tuple sets currently ready in the preprocessing pool", nil,
+			func() float64 { return float64(pool.Stats().Buffered) })
 	}
 	return f, nil
+}
+
+// Metrics returns the federation's metrics registry. The library pre-wires
+// MPC cost counters (Fed-SAC compares, rounds, bytes, retries, poisonings,
+// engine forks), per-query latency histograms with per-phase timing
+// breakdowns, and preprocessing-pool activity; callers may register their
+// own metrics (an HTTP layer, a session pool) into the same registry and
+// expose everything with one WriteText call.
+func (f *Federation) Metrics() *metrics.Registry { return f.reg }
+
+// initMetrics pre-creates the per-query-kind instrument bundles and static
+// topology gauges.
+func (f *Federation) initMetrics() {
+	f.qm = make(map[string]*queryMetricSet)
+	for _, kind := range []string{"spsp", "sssp"} {
+		l := metrics.Labels{"kind": kind}
+		f.qm[kind] = &queryMetricSet{
+			total:      f.reg.Counter("fedroad_queries_total", "queries started, by kind (spsp = shortest path, sssp = kNN)", l),
+			errors:     f.reg.Counter("fedroad_query_errors_total", "queries that returned an error, by kind", l),
+			latency:    f.reg.Histogram("fedroad_query_seconds", "local query wall time (excludes simulated network time unless RealNetworkDelay is on)", nil, l),
+			settled:    f.reg.Counter("fedroad_query_settled_vertices_total", "vertices settled by search loops", l),
+			heuristics: f.reg.Counter("fedroad_query_heuristic_evals_total", "federated lower-bound (A* potential) evaluations", l),
+			phaseQueue: f.reg.Counter("fedroad_query_phase_seconds_total", "wall time by search phase", metrics.Labels{"kind": kind, "phase": "queue"}),
+			phaseSAC:   f.reg.Counter("fedroad_query_phase_seconds_total", "wall time by search phase", metrics.Labels{"kind": kind, "phase": "sac_wait"}),
+			phaseRelax: f.reg.Counter("fedroad_query_phase_seconds_total", "wall time by search phase", metrics.Labels{"kind": kind, "phase": "relax"}),
+		}
+	}
+	g := f.inner.Graph()
+	f.reg.GaugeFunc("fedroad_graph_vertices", "vertices in the shared road network", nil,
+		func() float64 { return float64(g.NumVertices()) })
+	f.reg.GaugeFunc("fedroad_graph_arcs", "arcs in the shared road network", nil,
+		func() float64 { return float64(g.NumArcs()) })
+	f.reg.GaugeFunc("fedroad_silos", "data silos in the federation", nil,
+		func() float64 { return float64(f.inner.P()) })
+}
+
+// recordQuery folds one query's outcome into the registry. Zero-cost when
+// the federation was built without a registry (tests constructing the struct
+// directly).
+func (f *Federation) recordQuery(kind string, stats Stats, err error) {
+	m := f.qm[kind]
+	if m == nil {
+		return
+	}
+	m.total.Inc()
+	if err != nil {
+		m.errors.Inc()
+		return
+	}
+	m.latency.Observe(stats.WallTime.Seconds())
+	m.settled.Add(float64(stats.SettledVertices))
+	m.heuristics.Add(float64(stats.HeuristicEvals))
+	m.phaseQueue.Add(stats.Phases.Queue.Seconds())
+	m.phaseSAC.Add(stats.Phases.SACWait.Seconds())
+	m.phaseRelax.Add(stats.Phases.Relax.Seconds())
 }
 
 // Close releases background resources (the preprocessing pool's workers).

@@ -103,11 +103,37 @@ func NewEngine(f *fed.Federation, opt Options) (*Engine, error) {
 // Federation returns the engine's federation.
 func (e *Engine) Federation() *fed.Federation { return e.f }
 
+// PhaseTimings breaks a query's local wall time down by search phase, the
+// per-query trace behind the observability layer. SACWait overlaps Queue
+// (queue comparisons are secure comparisons) and, rarely, Relax (cross-
+// frontier μ updates in bidirectional search compare under the relax
+// timer), so the three phases are reported side by side rather than
+// summed: Queue − SACWait approximates pure queue-structure time.
+type PhaseTimings struct {
+	// Queue is time spent inside priority-queue operations (Push/PushBatch/
+	// Pop), including the secure comparisons they trigger.
+	Queue time.Duration
+	// SACWait is time blocked inside Fed-SAC comparisons, wherever invoked.
+	SACWait time.Duration
+	// Relax is time spent on local edge relaxation: enumerating arcs and
+	// building tentative-path batches from silo-local weights.
+	Relax time.Duration
+}
+
+// Add accumulates other into p.
+func (p *PhaseTimings) Add(other PhaseTimings) {
+	p.Queue += other.Queue
+	p.SACWait += other.SACWait
+	p.Relax += other.Relax
+}
+
 // QueryStats reports the cost of one query.
 type QueryStats struct {
 	SettledVertices int       // search iterations (paper: explored vertices)
+	HeuristicEvals  int       // federated lower-bound (A* potential) evaluations
 	SAC             mpc.Stats // Fed-SAC usage: comparisons, rounds, bytes, simulated net time
 	Queue           pq.Counts // priority-queue comparison breakdown (Fig. 12)
+	Phases          PhaseTimings
 	WallTime        time.Duration
 }
 
@@ -147,6 +173,29 @@ func (e *Engine) newComparator(sac *fed.SAC) comparator {
 	}
 	return sac
 }
+
+// timedCmp wraps a comparator and accumulates the wall time spent blocked in
+// secure comparisons — the query's Fed-SAC wait phase.
+type timedCmp struct {
+	inner comparator
+	wait  time.Duration
+}
+
+func (t *timedCmp) Less(a, b fed.Partial) bool {
+	t0 := time.Now()
+	r := t.inner.Less(a, b)
+	t.wait += time.Since(t0)
+	return r
+}
+
+func (t *timedCmp) LessBatch(pairs [][2]fed.Partial) []bool {
+	t0 := time.Now()
+	r := t.inner.LessBatch(pairs)
+	t.wait += time.Since(t0)
+	return r
+}
+
+func (t *timedCmp) Err() error { return t.inner.Err() }
 
 // newQueue builds the configured priority queue over items with a Fed-SAC
 // comparator: every queue comparison is one secure comparison. With

@@ -144,8 +144,10 @@ func (e *Engine) SPSP(s, t graph.Vertex) (PathResult, QueryStats, error) {
 			QueryStats{}, nil
 	}
 	rawSAC := e.f.NewSAC()
-	sac := e.newComparator(rawSAC)
+	sac := &timedCmp{inner: e.newComparator(rawSAC)}
 	before := e.f.Engine().Stats()
+	var phases PhaseTimings
+	heuristicEvals := 0
 
 	estF, estB, err := lb.NewPair(e.opt.Estimator, e.f, e.opt.Landmarks, rawSAC, s, t)
 	if err != nil {
@@ -162,6 +164,7 @@ func (e *Engine) SPSP(s, t graph.Vertex) (PathResult, QueryStats, error) {
 	bwd := &side{forward: false, q: e.newQueue(sac), settled: make(map[graph.Vertex]*label), est: estB}
 	fwd.q.Push(&item{v: s, key: estF.Potential(s), g: e.f.ZeroPartial(), parent: graph.NoVertex, parc: -1})
 	bwd.q.Push(&item{v: t, key: estB.Potential(t), g: e.f.ZeroPartial(), parent: graph.NoVertex, parc: -1})
+	heuristicEvals += 2
 
 	var mu fed.Partial
 	var meet meeting
@@ -184,7 +187,9 @@ func (e *Engine) SPSP(s, t graph.Vertex) (PathResult, QueryStats, error) {
 		if sd.done {
 			sd, other = other, sd
 		}
+		t0 := time.Now()
 		it, ok := sd.q.Pop()
+		phases.Queue += time.Since(t0)
 		if !ok {
 			sd.done = true
 			continue
@@ -205,6 +210,7 @@ func (e *Engine) SPSP(s, t graph.Vertex) (PathResult, QueryStats, error) {
 			updateMu(cand, m)
 		}
 
+		t0 = time.Now()
 		var batch []*item
 		for _, at := range exp.arcs(it.v, sd.forward) {
 			if _, dup := sd.settled[at.to]; dup {
@@ -223,20 +229,27 @@ func (e *Engine) SPSP(s, t graph.Vertex) (PathResult, QueryStats, error) {
 				updateMu(cand, m)
 			}
 			key := ng
+			heuristicEvals++
 			if pot := sd.est.Potential(at.to); pot != nil {
 				key = fed.SumPartial(ng, pot)
 			}
 			batch = append(batch, &item{v: at.to, key: key, g: ng, parent: it.v, parc: at.arc})
 		}
+		phases.Relax += time.Since(t0)
+		t0 = time.Now()
 		sd.q.PushBatch(batch)
+		phases.Queue += time.Since(t0)
 		if err := sac.Err(); err != nil {
 			return PathResult{}, QueryStats{}, err
 		}
 	}
 
+	phases.SACWait = sac.wait
 	stats := QueryStats{
 		SettledVertices: settledTotal,
+		HeuristicEvals:  heuristicEvals,
 		SAC:             e.f.Engine().Stats().Sub(before),
+		Phases:          phases,
 		WallTime:        time.Since(start),
 	}
 	stats.Queue.Add(fwd.q.Counts())

@@ -25,16 +25,19 @@ func (e *Engine) SSSP(s graph.Vertex, k int) ([]PathResult, QueryStats, error) {
 	if k > g.NumVertices() {
 		k = g.NumVertices()
 	}
-	sac := e.newComparator(e.f.NewSAC())
+	sac := &timedCmp{inner: e.newComparator(e.f.NewSAC())}
 	before := e.f.Engine().Stats()
 	q := e.newQueue(sac)
 	settled := make(map[graph.Vertex]*label)
+	var phases PhaseTimings
 
 	q.Push(&item{v: s, key: e.f.ZeroPartial(), g: e.f.ZeroPartial(), parent: graph.NoVertex, parc: -1})
 	var results []PathResult
 
 	for len(results) < k {
+		t0 := time.Now()
 		it, ok := q.Pop()
+		phases.Queue += time.Since(t0)
 		if !ok {
 			break
 		}
@@ -50,6 +53,7 @@ func (e *Engine) SSSP(s graph.Vertex, k int) ([]PathResult, QueryStats, error) {
 			Partial: fed.ClonePartial(it.g),
 			Found:   true,
 		})
+		t0 = time.Now()
 		first := g.FirstOut(it.v)
 		var batch []*item
 		for i, u := range g.OutNeighbors(it.v) {
@@ -63,18 +67,23 @@ func (e *Engine) SSSP(s graph.Vertex, k int) ([]PathResult, QueryStats, error) {
 			}
 			batch = append(batch, &item{v: u, key: ng, g: ng, parent: it.v, parc: int32(a)})
 		}
+		phases.Relax += time.Since(t0)
 		// MPC step (Alg. 1 lines 9-13) happens inside the queue: the batch
 		// push and the next pop use only Fed-SAC comparisons.
+		t0 = time.Now()
 		q.PushBatch(batch)
+		phases.Queue += time.Since(t0)
 		if err := sac.Err(); err != nil {
 			return nil, QueryStats{}, err
 		}
 	}
 
+	phases.SACWait = sac.wait
 	stats := QueryStats{
 		SettledVertices: len(settled),
 		SAC:             e.f.Engine().Stats().Sub(before),
 		Queue:           q.Counts(),
+		Phases:          phases,
 		WallTime:        time.Since(start),
 	}
 	return results, stats, nil

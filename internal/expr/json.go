@@ -1,0 +1,119 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// BenchEntry is the machine-readable summary of one (dataset, method,
+// hop-group) configuration of the comparative sweep: latency percentiles
+// over the per-query end-to-end times (local wall + simulated MPC network,
+// the paper's testbed estimate) plus the mean secure-computation counters.
+type BenchEntry struct {
+	Dataset string `json:"dataset"`
+	Method  string `json:"method"`
+	Group   string `json:"group"`
+	Queries int    `json:"queries"`
+
+	// Latency percentiles in microseconds over per-query Time.
+	P50Us  int64 `json:"p50_us"`
+	P90Us  int64 `json:"p90_us"`
+	P99Us  int64 `json:"p99_us"`
+	MaxUs  int64 `json:"max_us"`
+	MeanUs int64 `json:"mean_us"`
+
+	// Mean secure-computation cost per query.
+	MeanFedSACs int64 `json:"mean_fed_sacs"`
+	MeanRounds  int64 `json:"mean_mpc_rounds"`
+	MeanBytes   int64 `json:"mean_mpc_bytes"`
+	MeanSettled int   `json:"mean_settled_vertices"`
+}
+
+// BenchReport is the top-level BENCH_*.json document.
+type BenchReport struct {
+	Experiment      string       `json:"experiment"`
+	Datasets        []string     `json:"datasets"`
+	Silos           int          `json:"silos"`
+	QueriesPerGroup int          `json:"queries_per_group"`
+	NumGroups       int          `json:"num_groups"`
+	MaxVertices     int          `json:"max_vertices,omitempty"`
+	Entries         []BenchEntry `json:"entries"`
+}
+
+// percentileUs returns the q-quantile (0 <= q <= 1) of times in microseconds
+// using nearest-rank on the sorted slice.
+func percentileUs(sorted []time.Duration, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Microseconds()
+}
+
+// BenchReport summarizes a comparative sweep into percentile entries, one
+// per (dataset, method, hop-group) row.
+func (h *Harness) BenchReport(experiment string, res *CompResult) BenchReport {
+	rep := BenchReport{
+		Experiment:      experiment,
+		Datasets:        h.cfg.Datasets,
+		Silos:           h.cfg.Silos,
+		QueriesPerGroup: h.cfg.QueriesPerGroup,
+		NumGroups:       h.cfg.NumGroups,
+		MaxVertices:     h.cfg.MaxVertices,
+	}
+	for _, row := range res.Rows {
+		times := make([]time.Duration, len(row.PerQ))
+		var sum time.Duration
+		for i, m := range row.PerQ {
+			times[i] = m.Time
+			sum += m.Time
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		e := BenchEntry{
+			Dataset:     row.Dataset,
+			Method:      row.Method,
+			Group:       row.Group,
+			Queries:     len(row.PerQ),
+			P50Us:       percentileUs(times, 0.50),
+			P90Us:       percentileUs(times, 0.90),
+			P99Us:       percentileUs(times, 0.99),
+			MeanFedSACs: row.Avg.Compares,
+			MeanRounds:  row.Avg.Rounds,
+			MeanBytes:   row.Avg.Bytes,
+			MeanSettled: row.Avg.Settled,
+		}
+		if n := len(times); n > 0 {
+			e.MaxUs = times[n-1].Microseconds()
+			e.MeanUs = (sum / time.Duration(n)).Microseconds()
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r BenchReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("expr: bench report: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("expr: bench report: %w", err)
+	}
+	return f.Close()
+}

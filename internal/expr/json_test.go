@@ -1,0 +1,73 @@
+package expr
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestBenchReport(t *testing.T) {
+	h := New(Config{
+		Datasets:        []string{"X"},
+		Silos:           3,
+		QueriesPerGroup: 4,
+		NumGroups:       1,
+	})
+	perQ := []QueryMetrics{
+		{Time: 1 * time.Millisecond, Compares: 10, Rounds: 20, Bytes: 300, Settled: 5},
+		{Time: 2 * time.Millisecond, Compares: 12, Rounds: 24, Bytes: 360, Settled: 6},
+		{Time: 3 * time.Millisecond, Compares: 14, Rounds: 28, Bytes: 420, Settled: 7},
+		{Time: 4 * time.Millisecond, Compares: 16, Rounds: 32, Bytes: 480, Settled: 8},
+	}
+	res := &CompResult{Rows: []CompRow{{
+		Dataset: "X", Method: "FedRoad", Group: "G1",
+		Avg:  average(perQ),
+		PerQ: perQ,
+	}}}
+
+	rep := h.BenchReport("bench", res)
+	if len(rep.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(rep.Entries))
+	}
+	e := rep.Entries[0]
+	if e.Queries != 4 {
+		t.Errorf("Queries = %d, want 4", e.Queries)
+	}
+	if e.MaxUs != 4000 {
+		t.Errorf("MaxUs = %d, want 4000", e.MaxUs)
+	}
+	if e.MeanUs != 2500 {
+		t.Errorf("MeanUs = %d, want 2500", e.MeanUs)
+	}
+	// Nearest-rank on 4 samples: p50 → index round(0.5*3)=2 → 3ms.
+	if e.P50Us != 3000 {
+		t.Errorf("P50Us = %d, want 3000", e.P50Us)
+	}
+	if e.P99Us != 4000 {
+		t.Errorf("P99Us = %d, want 4000", e.P99Us)
+	}
+	if e.MeanFedSACs != 13 || e.MeanRounds != 26 || e.MeanBytes != 390 || e.MeanSettled != 6 {
+		t.Errorf("means = (%d,%d,%d,%d), want (13,26,390,6)",
+			e.MeanFedSACs, e.MeanRounds, e.MeanBytes, e.MeanSettled)
+	}
+
+	// The report must round-trip through JSON.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back.Entries) != 1 || back.Entries[0] != e {
+		t.Errorf("round-trip mismatch: %+v", back.Entries)
+	}
+}
+
+func TestPercentileUsEmpty(t *testing.T) {
+	if got := percentileUs(nil, 0.5); got != 0 {
+		t.Errorf("percentileUs(nil) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"bufio"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-7) // dropped: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter value %v, want 3.5", got)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h", nil)
+	b := r.Counter("x_total", "h", nil)
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	l1 := r.Counter("y_total", "h", Labels{"path": "/route"})
+	l2 := r.Counter("y_total", "h", Labels{"path": "/knn"})
+	if l1 == l2 {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type clash did not panic")
+		}
+	}()
+	r.Histogram("x_total", "h", nil, nil)
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "h", []float64{0.01, 0.1, 1}, nil)
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.56) > 1e-9 {
+		t.Fatalf("sum %v, want 5.56", h.Sum())
+	}
+	// Median falls in the first bucket (2 of 5 observations <= 0.01, the
+	// interpolated estimate sits within (0, 0.01]).
+	if q := h.Quantile(0.5); q <= 0 || q > 0.1 {
+		t.Fatalf("p50 estimate %v outside (0, 0.1]", q)
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExpositionParsesAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counts a", nil).Add(7)
+	r.Counter("b_total", "counts b", Labels{"kind": "x", "phase": "q"}).Add(2)
+	r.GaugeFunc("depth", "current depth", nil, func() float64 { return 4 })
+	r.Histogram("h_seconds", "hist", []float64{1}, nil).Observe(0.5)
+
+	vals := ParseText(t, exposition(t, r))
+	for k, want := range map[string]float64{
+		"a_total":                     7,
+		`b_total{kind="x",phase="q"}`: 2,
+		"depth":                       4,
+		"h_seconds_count":             1,
+		"h_seconds_sum":               0.5,
+	} {
+		if got, ok := vals[k]; !ok || got != want {
+			t.Fatalf("parsed %q = %v (present %v), want %v\nfull: %v", k, got, ok, want, vals)
+		}
+	}
+
+	snap := r.Snapshot()
+	if snap["a_total"] != 7 || snap["h_seconds_sum"] != 0.5 {
+		t.Fatalf("bad snapshot: %v", snap)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits_total", "", nil)
+			h := r.Histogram("obs_seconds", "", nil, nil)
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	var b strings.Builder
+	r.WriteText(&b) // scrape concurrently with writers
+	wg.Wait()
+	if got := r.Counter("hits_total", "", nil).Value(); got != 8000 {
+		t.Fatalf("counter %v, want 8000", got)
+	}
+	if got := r.Histogram("obs_seconds", "", nil, nil).Count(); got != 8000 {
+		t.Fatalf("histogram count %v, want 8000", got)
+	}
+}
+
+func exposition(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// ParseText parses Prometheus text exposition into a name{labels}→value map,
+// failing the test on any malformed line. Exported for reuse by the server
+// tests (via a copy — packages don't import each other's tests).
+func ParseText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}

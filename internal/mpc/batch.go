@@ -227,6 +227,7 @@ func (e *Engine) CompareBatch(diffs [][]int64) ([]bool, error) {
 	e.stats.Bytes += cost.bytes
 	e.stats.Messages += cost.msgs
 	e.stats.SimNet += e.simNetFor(cost.bytes)
+	e.instr.record(int64(k), int64(RoundsPerCompare), cost.bytes, cost.msgs)
 	return out, nil
 }
 

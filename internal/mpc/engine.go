@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/transport"
 )
 
@@ -87,6 +88,51 @@ type Params struct {
 	// protocols through drops, delays, duplicates, errors and mid-round
 	// closes without touching protocol code.
 	Wrap func(party int, c transport.Conn) transport.Conn
+
+	// Instr, when set, mirrors the engine's cost counters into a process-wide
+	// metrics registry, shared by the whole fork family. Per-engine Stats
+	// stay authoritative for per-query accounting; Instr feeds the /metrics
+	// trajectory across all engines.
+	Instr *Instruments
+}
+
+// Instruments is the MPC layer's hookup into a metrics registry: global
+// monotonic counters aggregated across every engine of a fork family. The
+// counter names follow the paper's cost model — compares is the Fed-SAC
+// invocation count, rounds and bytes are the R and S of R·(L + S/B).
+type Instruments struct {
+	Compares   *metrics.Counter
+	Rounds     *metrics.Counter
+	Bytes      *metrics.Counter
+	Messages   *metrics.Counter
+	Retries    *metrics.Counter
+	Poisonings *metrics.Counter
+	Forks      *metrics.Counter
+}
+
+// NewInstruments registers (or rebinds, idempotently) the MPC counter set on
+// a registry.
+func NewInstruments(reg *metrics.Registry) *Instruments {
+	return &Instruments{
+		Compares:   reg.Counter("fedroad_mpc_compares_total", "Fed-SAC secure comparisons executed", nil),
+		Rounds:     reg.Counter("fedroad_mpc_rounds_total", "MPC communication rounds (R in the paper's R·(L+S/B) cost model)", nil),
+		Bytes:      reg.Counter("fedroad_mpc_bytes_total", "MPC wire bytes across all silos (S, summed over rounds)", nil),
+		Messages:   reg.Counter("fedroad_mpc_messages_total", "MPC wire messages across all silos", nil),
+		Retries:    reg.Counter("fedroad_mpc_retries_total", "Fed-SAC protocol rounds re-run after transient transport failures", nil),
+		Poisonings: reg.Counter("fedroad_mpc_poisonings_total", "engines disabled by unrecoverable transport failures", nil),
+		Forks:      reg.Counter("fedroad_mpc_engine_forks_total", "per-session engine forks created", nil),
+	}
+}
+
+// record mirrors one comparison run's cost into the registry counters.
+func (in *Instruments) record(compares, rounds, bytes, msgs int64) {
+	if in == nil {
+		return
+	}
+	in.Compares.Add(float64(compares))
+	in.Rounds.Add(float64(rounds))
+	in.Bytes.Add(float64(bytes))
+	in.Messages.Add(float64(msgs))
 }
 
 // Stats aggregates the cost of all comparisons executed by an engine.
@@ -155,6 +201,10 @@ type Engine struct {
 	// runProtocol/runBatchProtocol ahead of the dealer.
 	pool *Pool
 
+	// instr, when set, mirrors cost counters into a shared metrics registry;
+	// inherited by forks (nil-safe: all methods accept a nil receiver).
+	instr *Instruments
+
 	// forkCtr hands out distinct randomness streams to forks; shared by the
 	// whole fork family.
 	forkCtr *atomic.Uint64
@@ -206,6 +256,7 @@ func NewEngine(p Params) (*Engine, error) {
 		roundTimeout: p.RoundTimeout,
 		retry:        p.Retry,
 		wrap:         p.Wrap,
+		instr:        p.Instr,
 	}
 	e.rngs = make([]*rand.Rand, e.n)
 	for i := range e.rngs {
@@ -251,10 +302,14 @@ func (e *Engine) Fork() *Engine {
 		forkCtr:      e.forkCtr,
 		calib:        e.calib,
 		pool:         e.pool,
+		instr:        e.instr,
 		roundTimeout: e.roundTimeout,
 		retry:        e.retry,
 		wrap:         e.wrap,
 		cmpBytes:     e.cmpBytes, cmpMsgs: e.cmpMsgs, cmpSimNet: e.cmpSimNet,
+	}
+	if e.instr != nil {
+		e.instr.Forks.Inc()
 	}
 	f.rngs = make([]*rand.Rand, f.n)
 	for i := range f.rngs {
@@ -370,6 +425,7 @@ func (e *Engine) Compare(diffs []int64) (bool, error) {
 	e.stats.Bytes += e.cmpBytes
 	e.stats.Messages += e.cmpMsgs
 	e.stats.SimNet += e.cmpSimNet
+	e.instr.record(1, int64(RoundsPerCompare), e.cmpBytes, e.cmpMsgs)
 	return result, nil
 }
 
@@ -425,6 +481,9 @@ func (e *Engine) retryProtocol(run func() error) error {
 		if attempt >= e.retry.Attempts || !transport.Transient(err) {
 			break
 		}
+		if e.instr != nil {
+			e.instr.Retries.Inc()
+		}
 		e.mem.Drain()
 		e.mem.ResetStats()
 		if e.retry.Backoff > 0 {
@@ -432,6 +491,9 @@ func (e *Engine) retryProtocol(run func() error) error {
 		}
 	}
 	e.poisoned = true
+	if e.instr != nil {
+		e.instr.Poisonings.Inc()
+	}
 	return fmt.Errorf("%w: %w", ErrPoisoned, err)
 }
 

@@ -60,15 +60,59 @@ func oneOpt(opts []QueryOptions) (QueryOptions, error) {
 	case 1:
 		return opts[0], nil
 	default:
-		return QueryOptions{}, fmt.Errorf("fedroad: at most one QueryOptions")
+		return QueryOptions{}, fmt.Errorf("%w: at most one QueryOptions", ErrInvalidQuery)
 	}
+}
+
+// validateOptions classifies request-level option mistakes up front so they
+// surface as ErrInvalidQuery (4xx material) instead of engine-construction
+// errors indistinguishable from internal failures. knn marks the Fed-SSSP
+// path, which runs on the flat network toward no fixed target: estimator
+// options cannot apply there and are rejected rather than silently dropped.
+func validateOptions(opt QueryOptions, knn bool) error {
+	switch opt.Queue {
+	case "", Heap, LeftistHeap, TMTree:
+	default:
+		return fmt.Errorf("%w: unknown queue %q", ErrInvalidQuery, opt.Queue)
+	}
+	switch opt.Estimator {
+	case "", NoEstimator, FedALT, FedALTMax, FedAMPS:
+	default:
+		return fmt.Errorf("%w: unknown estimator %q", ErrInvalidQuery, opt.Estimator)
+	}
+	if knn && opt.Estimator != "" && opt.Estimator != NoEstimator {
+		return fmt.Errorf("%w: estimator %q does not apply to kNN (Fed-SSSP has no fixed target to estimate toward)",
+			ErrInvalidQuery, opt.Estimator)
+	}
+	if opt.BatchedMPC && opt.Queue != "" && opt.Queue != TMTree {
+		return fmt.Errorf("%w: BatchedMPC requires the tm-tree queue, got %q", ErrInvalidQuery, opt.Queue)
+	}
+	return nil
+}
+
+// checkVertex range-checks a query endpoint.
+func (s *Session) checkVertex(name string, v Vertex) error {
+	if n := s.f.Graph().NumVertices(); int(v) < 0 || int(v) >= n {
+		return fmt.Errorf("%w: %s vertex %d out of range [0,%d)", ErrInvalidQuery, name, v, n)
+	}
+	return nil
 }
 
 // ShortestPath answers a federated single-pair shortest-path query on this
 // session, under the federation's read lock.
 func (s *Session) ShortestPath(src, dst Vertex, opts ...QueryOptions) (Route, Stats, error) {
 	opt, err := oneOpt(opts)
+	if err == nil {
+		err = validateOptions(opt, false)
+	}
+	if err == nil {
+		err = s.checkVertex("source", src)
+	}
+	if err == nil {
+		err = s.checkVertex("target", dst)
+	}
 	if err != nil {
+		s.f.recordQuery("spsp", Stats{}, err)
 		return Route{}, Stats{}, err
 	}
 	if opt.Estimator == FedALT || opt.Estimator == FedALTMax {
@@ -76,7 +120,9 @@ func (s *Session) ShortestPath(src, dst Vertex, opts ...QueryOptions) (Route, St
 	}
 	s.f.mu.RLock()
 	defer s.f.mu.RUnlock()
-	return s.shortestPathLocked(src, dst, opt)
+	route, stats, err := s.shortestPathLocked(src, dst, opt)
+	s.f.recordQuery("spsp", stats, err)
+	return route, stats, err
 }
 
 // shortestPathLocked runs the query body; the caller holds f.mu (read).
@@ -93,21 +139,37 @@ func (s *Session) shortestPathLocked(src, dst Vertex, opt QueryOptions) (Route, 
 }
 
 // NearestNeighbors answers a federated kNN query on this session, under the
-// federation's read lock.
+// federation's read lock. kNN runs Fed-SSSP on the flat network: the queue
+// and BatchedMPC options apply; estimator options are rejected (there is no
+// fixed target to estimate toward) and NoIndex is implied.
 func (s *Session) NearestNeighbors(src Vertex, k int, opts ...QueryOptions) ([]Route, Stats, error) {
 	opt, err := oneOpt(opts)
+	if err == nil {
+		err = validateOptions(opt, true)
+	}
+	if err == nil {
+		err = s.checkVertex("source", src)
+	}
+	if err == nil && k < 1 {
+		err = fmt.Errorf("%w: k = %d must be positive", ErrInvalidQuery, k)
+	}
 	if err != nil {
+		s.f.recordQuery("sssp", Stats{}, err)
 		return nil, Stats{}, err
 	}
 	s.f.mu.RLock()
 	defer s.f.mu.RUnlock()
-	return s.nearestNeighborsLocked(src, k, opt)
+	routes, stats, err := s.nearestNeighborsLocked(src, k, opt)
+	s.f.recordQuery("sssp", stats, err)
+	return routes, stats, err
 }
 
 // nearestNeighborsLocked runs the query body; the caller holds f.mu (read).
 func (s *Session) nearestNeighborsLocked(src Vertex, k int, opt QueryOptions) ([]Route, Stats, error) {
-	// SSSP runs on the flat network; only the queue choice applies.
-	o := core.Options{}
+	// SSSP runs on the flat network with no estimator (validateOptions has
+	// already rejected estimator options); the queue choice and MPC batching
+	// pass through.
+	o := core.Options{BatchedMPC: opt.BatchedMPC}
 	if opt.Queue == "" {
 		o.Queue = pq.KindTMTree
 	} else {
