@@ -231,12 +231,25 @@ func benchFederation(b *testing.B, n int) (*Federation, *graph.Graph) {
 	return f, g
 }
 
+// BenchmarkIndexBuild compares contraction worker-pool sizes. Wall-clock
+// speedup needs real cores (GOMAXPROCS); the reported mpc-rounds and
+// rounds-saved metrics hold on any host.
 func BenchmarkIndexBuild(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		f, _ := benchFederation(b, 1000)
-		if err := f.BuildIndex(); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var rounds, saved int64
+			for i := 0; i < b.N; i++ {
+				f, _ := benchFederation(b, 1000)
+				if err := f.BuildIndexWith(IndexParams{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+				st := f.IndexStats()
+				rounds += st.SAC.Rounds
+				saved += st.RoundsSaved
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "mpc-rounds/op")
+			b.ReportMetric(float64(saved)/float64(b.N), "rounds-saved/op")
+		})
 	}
 }
 

@@ -16,7 +16,9 @@
 // The bench experiment runs the comparative sweep and emits a JSON report
 // (per-configuration latency percentiles plus mean Fed-SAC/round/byte
 // counts) to the -json path — the format CI archives as BENCH_*.json. The
-// -json flag also works with fig7/fig8, which run the same sweep.
+// -json flag also works with fig7/fig8, which run the same sweep. With
+// -index, bench instead measures index construction (sequential vs parallel
+// contraction, batched vs per-pair Fed-SAC) and writes BENCH_build.json.
 package main
 
 import (
@@ -45,6 +47,7 @@ func main() {
 		latency   = flag.Duration("latency", 200*time.Microsecond, "modeled one-way network latency")
 		bandwidth = flag.Float64("bandwidth", 1e9, "modeled bandwidth in bytes/s")
 		jsonOut   = flag.String("json", "", "write a machine-readable BENCH_*.json report (bench, fig7, fig8)")
+		index     = flag.Bool("index", false, "with bench: benchmark index construction (sequential vs parallel) instead of the query sweep")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -113,6 +116,20 @@ func main() {
 			}
 		}
 	case "bench":
+		if *index {
+			var rep *expr.BuildBenchReport
+			if rep, err = h.RunIndexBuildBench(); err == nil {
+				h.PrintIndexBuildBench(rep)
+				out := *jsonOut
+				if out == "" {
+					out = "BENCH_build.json"
+				}
+				if err = rep.WriteFile(out); err == nil {
+					fmt.Printf("\nwrote %s\n", out)
+				}
+			}
+			break
+		}
 		var res *expr.CompResult
 		if res, err = h.RunComparative(); err == nil {
 			h.PrintFig7(res)

@@ -30,6 +30,7 @@ func main() {
 		silos    = flag.Int("silos", 3, "number of data silos")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		noIndex  = flag.Bool("no-index", false, "skip building the shortcut index")
+		idxWkrs  = flag.Int("index-workers", 0, "contraction workers for the parallel index build (0 = GOMAXPROCS)")
 		protocol = flag.Bool("protocol", false, "run the full MPC protocol per comparison (default: ideal mode with analytic cost accounting)")
 		maxConc  = flag.Int("max-concurrent", 0, "max in-flight queries (0 = 4x GOMAXPROCS)")
 		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof/* profiling handlers")
@@ -70,11 +71,13 @@ func main() {
 	log.Printf("federation: %d vertices, %d arcs, %d silos", g.NumVertices(), g.NumArcs(), *silos)
 	if !*noIndex {
 		start := time.Now()
-		if err := fed.BuildIndex(); err != nil {
+		if err := fed.BuildIndexWith(fedroad.IndexParams{Workers: *idxWkrs}); err != nil {
 			fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("index: %d shortcuts in %v", fed.IndexStats().Shortcuts, time.Since(start).Round(time.Millisecond))
+		st := fed.IndexStats()
+		log.Printf("index: %d shortcuts in %v (%d workers, %d contraction rounds)",
+			st.Shortcuts, time.Since(start).Round(time.Millisecond), st.Workers, st.Rounds)
 	}
 
 	srv := newServer(fed, *maxConc)

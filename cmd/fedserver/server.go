@@ -464,6 +464,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Arcs          int                `json:"arcs"`
 		Silos         int                `json:"silos"`
 		HasIndex      bool               `json:"has_index"`
+		IndexBuilding bool               `json:"index_building"`
 		Shortcuts     int                `json:"shortcuts"`
 		BuildSACs     int64              `json:"build_fed_sacs"`
 		QueriesServed int64              `json:"queries_served"`
@@ -476,7 +477,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Metrics       map[string]float64 `json:"metrics"`
 	}{
 		s.fed.Graph().NumVertices(), s.fed.Graph().NumArcs(), s.fed.Silos(),
-		s.fed.HasIndex(), st.Shortcuts, st.SAC.Compares,
+		s.fed.HasIndex(), s.fed.IndexBuilding(), st.Shortcuts, st.SAC.Compares,
 		s.queries.Load(), cap(s.sem),
 		s.pooledIdle(), s.discarded.Load(),
 		pool.Produced, pool.Hits, pool.Misses,

@@ -427,6 +427,52 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 }
 
+// TestStatsReportsIndexBuilding: /stats carries the index_building flag —
+// false at rest, observable as true while an off-lock rebuild runs (the
+// rebuild does not block the /stats request), and false again once the
+// build returns.
+func TestStatsReportsIndexBuilding(t *testing.T) {
+	ts, fed, _ := testServer(t)
+	read := func() (building, present bool) {
+		t.Helper()
+		var raw map[string]any
+		if r := getJSON(t, ts.URL+"/stats", &raw); r.StatusCode != http.StatusOK {
+			t.Fatalf("stats status %d", r.StatusCode)
+		}
+		v, ok := raw["index_building"]
+		b, _ := v.(bool)
+		return b, ok
+	}
+	if b, ok := read(); !ok || b {
+		t.Fatalf("index_building present=%v value=%v, want present and false at rest", ok, b)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- fed.BuildIndexWith(fedroad.IndexParams{Workers: 2}) }()
+	observed := false
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Whether the flag was caught mid-flight is timing-dependent on
+			// fast builds; the rest-state transitions are the contract.
+			if b, ok := read(); !ok || b {
+				t.Fatalf("index_building=%v after build returned, want false", b)
+			}
+			if !observed {
+				t.Log("build finished before /stats observed it in flight (ok)")
+			}
+			return
+		default:
+			if b, _ := read(); b {
+				observed = true
+			}
+		}
+	}
+}
+
 func TestConcurrentRequests(t *testing.T) {
 	ts, fed, _ := testServer(t)
 	var wg sync.WaitGroup

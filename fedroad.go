@@ -35,7 +35,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ch"
@@ -199,6 +201,15 @@ var ErrInvalidUpdate = errors.New("fedroad: invalid traffic update")
 // work. Check with errors.Is.
 var ErrSessionPoisoned = mpc.ErrPoisoned
 
+// ErrBuildConflict tags an index build abandoned because traffic updates
+// changed the silo weights after the build snapshotted them: the finished
+// index would describe stale weights, so it is discarded instead of swapped
+// in. Set IndexParams.RebuildOnConflict to retry from fresh weights
+// automatically, or catch this error (errors.Is) and re-invoke
+// BuildIndexWith when the update rate allows. A previously built index, if
+// any, keeps serving queries.
+var ErrBuildConflict = errors.New("fedroad: index build conflicted with a concurrent traffic update")
+
 // ErrInvalidQuery tags query errors caused by the request itself: an unknown
 // estimator or queue kind, an option combination the engine rejects (e.g.
 // BatchedMPC without the TM-tree, an estimator on a kNN query), or vertices
@@ -218,9 +229,13 @@ func IsTimeout(err error) bool { return transport.IsTimeout(err) }
 // A Federation is safe for concurrent use. Queries (ShortestPath,
 // NearestNeighbors, and every query issued through a Session) take a read
 // lock and run on a private MPC engine fork, so any number of them proceed
-// in parallel; mutations (SetTraffic, ApplyTraffic, UpdateIndex, BuildIndex,
-// PrecomputeLandmarks) take the write lock and therefore never interleave
-// with a search. See DESIGN.md, "Concurrency model".
+// in parallel; mutations (SetTraffic, ApplyTraffic, UpdateIndex) take the
+// write lock and therefore never interleave with a search. BuildIndex and
+// PrecomputeLandmarks do their heavy work OFF the lock — they snapshot the
+// silo weights under a read lock, compute unlocked, and swap the result in
+// under a brief write lock — so queries and traffic updates keep flowing
+// during a (re)build. See DESIGN.md, "Concurrency model" and "Parallel index
+// construction".
 type Federation struct {
 	mu    sync.RWMutex // queries read-lock; state mutation write-locks
 	inner *fed.Federation
@@ -229,12 +244,35 @@ type Federation struct {
 	cfg   Config
 	pool  *mpc.Pool
 
+	// trafficVer counts silo-weight mutations (guarded by mu). Off-lock
+	// builders record it at snapshot time; a changed version at swap time
+	// means the build no longer describes the live weights.
+	trafficVer uint64
+	// building counts in-flight off-lock index builds (for IndexBuilding
+	// and the build-in-progress gauge).
+	building atomic.Int32
+
 	// reg is the federation's metrics registry: MPC cost counters (fed by
 	// every engine fork), per-query latency histograms and phase timings,
 	// and preprocessing-pool gauges. Servers fold their own HTTP and
 	// session-pool metrics into the same registry via Metrics().
 	reg *metrics.Registry
 	qm  map[string]*queryMetricSet
+	bm  *buildMetricSet
+}
+
+// buildMetricSet instruments the index-build pipeline. The gauges read only
+// atomics — a gauge callback must never take f.mu, or scraping /metrics
+// while a writer holds the lock would deadlock.
+type buildMetricSet struct {
+	builds           *metrics.Counter
+	conflicts        *metrics.Counter
+	seconds          *metrics.Histogram
+	rounds           *metrics.Counter
+	roundsSaved      *metrics.Counter
+	phaseOrdering    *metrics.Counter
+	phaseContraction *metrics.Counter
+	lastAvgWidth     atomic.Uint64 // math.Float64bits of the last build's AvgRoundWidth
 }
 
 // queryMetricSet is the per-query-kind ("spsp", "sssp") instrument bundle.
@@ -333,6 +371,20 @@ func (f *Federation) initMetrics() {
 			phaseRelax: f.reg.Counter("fedroad_query_phase_seconds_total", "wall time by search phase", metrics.Labels{"kind": kind, "phase": "relax"}),
 		}
 	}
+	f.bm = &buildMetricSet{
+		builds:           f.reg.Counter("fedroad_index_builds_total", "shortcut-index builds that completed and were swapped in", nil),
+		conflicts:        f.reg.Counter("fedroad_index_build_conflicts_total", "index builds discarded because traffic changed mid-build", nil),
+		seconds:          f.reg.Histogram("fedroad_index_build_seconds", "wall time of completed index builds", nil, nil),
+		rounds:           f.reg.Counter("fedroad_index_build_contraction_rounds_total", "independent-set contraction rounds executed by index builds", nil),
+		roundsSaved:      f.reg.Counter("fedroad_index_build_mpc_rounds_saved_total", "MPC communication rounds avoided by batched Fed-SAC decisions during builds", nil),
+		phaseOrdering:    f.reg.Counter("fedroad_index_build_phase_seconds_total", "index-build wall time by phase", metrics.Labels{"phase": "ordering"}),
+		phaseContraction: f.reg.Counter("fedroad_index_build_phase_seconds_total", "index-build wall time by phase", metrics.Labels{"phase": "contraction"}),
+	}
+	bm := f.bm
+	f.reg.GaugeFunc("fedroad_index_build_in_progress", "off-lock index builds currently running", nil,
+		func() float64 { return float64(f.building.Load()) })
+	f.reg.GaugeFunc("fedroad_index_build_parallelism", "average vertices contracted per round in the last completed build", nil,
+		func() float64 { return math.Float64frombits(bm.lastAvgWidth.Load()) })
 	g := f.inner.Graph()
 	f.reg.GaugeFunc("fedroad_graph_vertices", "vertices in the shared road network", nil,
 		func() float64 { return float64(g.NumVertices()) })
@@ -388,8 +440,12 @@ func (f *Federation) Graph() *Graph { return f.inner.Graph() }
 func (f *Federation) Silos() int { return f.inner.P() }
 
 // IndexParams tunes federated index construction: the public ordering
-// heuristic (OrderEdgeDiff or OrderDegree) and the witness-search cap. The
-// zero value gives the paper's setup.
+// heuristic (OrderEdgeDiff or OrderDegree), the witness-search cap, the
+// contraction worker pool (Workers; 0 = GOMAXPROCS — the built index is
+// identical for every worker count), batching of Fed-SAC decisions (NoBatch
+// disables it, for diagnostics) and the off-lock conflict policy
+// (RebuildOnConflict retries a build whose weight snapshot a concurrent
+// traffic update invalidated). The zero value gives the paper's setup.
 type IndexParams = ch.Params
 
 // Ordering heuristics for IndexParams.
@@ -404,29 +460,86 @@ func (f *Federation) BuildIndex() error {
 	return f.BuildIndexWith(IndexParams{})
 }
 
-// BuildIndexWith constructs the index under explicit framework parameters.
-// Construction holds the write lock: no query runs against a half-built
-// index.
+// BuildIndexWith constructs the index under explicit framework parameters,
+// without blocking queries or traffic updates while it runs: the silo
+// weights are snapshotted under a read lock, the whole ordering +
+// contraction effort happens off-lock on forked MPC engines, and the
+// finished index is swapped in under a brief write lock. No query ever
+// observes a half-built index — searches use either the previous index or
+// the new one.
+//
+// If a traffic update lands between snapshot and swap, the stale build is
+// discarded: with prm.RebuildOnConflict > 0 the build restarts from fresh
+// weights up to that many times, otherwise (or when retries are exhausted)
+// ErrBuildConflict is returned and any previously built index stays in
+// service.
 func (f *Federation) BuildIndexWith(prm IndexParams) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	idx, err := ch.BuildWith(f.inner, prm)
-	if err != nil {
-		return err
+	f.building.Add(1)
+	defer f.building.Add(-1)
+	for attempt := 0; ; attempt++ {
+		f.mu.RLock()
+		ver := f.trafficVer
+		b, err := ch.NewBuilder(f.inner, prm)
+		f.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		idx, err := b.Run() // off-lock: queries and updates proceed
+		if err != nil {
+			return err
+		}
+		f.mu.Lock()
+		if f.trafficVer == ver {
+			f.index = idx
+			f.mu.Unlock()
+			f.recordBuild(idx.BuildStatistics())
+			return nil
+		}
+		f.mu.Unlock()
+		if f.bm != nil {
+			f.bm.conflicts.Inc()
+		}
+		if attempt >= prm.RebuildOnConflict {
+			return fmt.Errorf("%w (after %d attempt(s))", ErrBuildConflict, attempt+1)
+		}
 	}
-	f.index = idx
-	return nil
 }
 
-// HasIndex reports whether the shortcut index is built.
+// recordBuild folds a completed build's statistics into the registry
+// (nil-safe for tests constructing the struct directly).
+func (f *Federation) recordBuild(st ch.BuildStats) {
+	if f.bm == nil {
+		return
+	}
+	f.bm.builds.Inc()
+	f.bm.seconds.Observe(st.WallTime.Seconds())
+	f.bm.rounds.Add(float64(st.Rounds))
+	f.bm.roundsSaved.Add(float64(st.RoundsSaved))
+	f.bm.phaseOrdering.Add(st.OrderingTime.Seconds())
+	f.bm.phaseContraction.Add(st.ContractionTime.Seconds())
+	f.bm.lastAvgWidth.Store(math.Float64bits(st.AvgRoundWidth))
+}
+
+// HasIndex reports whether a shortcut index is currently serving queries.
+// During an off-lock rebuild it keeps reporting the previous index (true) —
+// or false if none was ever built — until the new index is swapped in; use
+// IndexBuilding to observe an in-flight build.
 func (f *Federation) HasIndex() bool {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	return f.index != nil
 }
 
-// IndexStats reports shortcut count and construction cost; zero values
-// before BuildIndex.
+// IndexBuilding reports whether an off-lock index build is in flight.
+// Queries keep running against the previous index (if any) while this is
+// true.
+func (f *Federation) IndexBuilding() bool { return f.building.Load() > 0 }
+
+// IndexStats reports the shortcut count and construction cost of the index
+// currently serving queries. During an off-lock rebuild these are the
+// PREVIOUS index's statistics, not the in-flight build's; zero values mean
+// no index has ever finished building (check IndexBuilding to distinguish
+// "never built" from "first build still running").
 func (f *Federation) IndexStats() ch.BuildStats {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -461,6 +574,8 @@ func (f *Federation) SaveIndex(public io.Writer, shards []io.Writer) error {
 }
 
 // LoadSavedIndex restores a previously saved index instead of rebuilding.
+// It also invalidates any build in flight (the loaded index is the caller's
+// explicit choice; a concurrently finishing build must not clobber it).
 func (f *Federation) LoadSavedIndex(public io.Reader, shards []io.Reader) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -469,19 +584,38 @@ func (f *Federation) LoadSavedIndex(public io.Reader, shards []io.Reader) error 
 		return err
 	}
 	f.index = idx
+	f.trafficVer++
 	return nil
 }
 
 // PrecomputeLandmarks prepares the landmark matrices required by the FedALT
-// and FedALTMax estimators (FedAMPS needs no precomputation).
+// and FedALTMax estimators (FedAMPS needs no precomputation). Like
+// BuildIndexWith it works off-lock: silo weights are snapshotted under a
+// read lock, the per-landmark Dijkstras run unlocked and in parallel, and
+// the matrices swap in under a brief write lock. Traffic updates landing
+// mid-computation only cost bound tightness, never correctness — landmark
+// bounds always go stale under traffic drift (the pre-existing semantics of
+// FedALT/FedALTMax); re-run PrecomputeLandmarks to tighten them.
 func (f *Federation) PrecomputeLandmarks() {
+	lm := f.computeLandmarks()
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.precomputeLandmarksLocked()
+	f.lm = lm
+	f.mu.Unlock()
 }
 
-func (f *Federation) precomputeLandmarksLocked() {
+// computeLandmarks snapshots under the read lock and computes unlocked.
+func (f *Federation) computeLandmarks() *lb.Landmarks {
+	f.mu.RLock()
+	sets := f.inner.SnapshotWeights()
+	f.mu.RUnlock()
+	return f.landmarksFrom(sets)
+}
+
+// landmarksFrom clamps the configured landmark count and runs the parallel
+// precomputation against an explicit weight snapshot.
+func (f *Federation) landmarksFrom(sets []Weights) *lb.Landmarks {
 	g := f.inner.Graph()
+	w0 := f.inner.StaticWeights()
 	k := f.cfg.Landmarks
 	if k > g.NumVertices()/2 {
 		k = g.NumVertices() / 2
@@ -489,7 +623,7 @@ func (f *Federation) precomputeLandmarksLocked() {
 	if k < 1 {
 		k = 1
 	}
-	f.lm = lb.PrecomputeLandmarks(f.inner, lb.SelectLandmarks(g, f.inner.StaticWeights(), k, f.cfg.Seed))
+	return lb.Precompute(g, w0, sets, lb.SelectLandmarks(g, w0, k, f.cfg.Seed), 0)
 }
 
 // ensureLandmarks precomputes the landmark matrices once, on first demand by
@@ -505,7 +639,7 @@ func (f *Federation) ensureLandmarks() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.lm == nil {
-		f.precomputeLandmarksLocked()
+		f.lm = f.landmarksFrom(f.inner.SnapshotWeights())
 	}
 }
 
@@ -524,6 +658,7 @@ func (f *Federation) SetTraffic(silo int, a Arc, travelTimeMs int64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.inner.Silo(silo).SetWeight(a, travelTimeMs)
+	f.trafficVer++
 	return nil
 }
 
@@ -563,6 +698,9 @@ func (f *Federation) ApplyTraffic(updates []TrafficUpdate) (ch.UpdateStats, erro
 	for _, u := range updates {
 		f.inner.Silo(u.Silo).SetWeight(u.Arc, u.TravelMs)
 		arcSet[u.Arc] = true
+	}
+	if len(updates) > 0 {
+		f.trafficVer++
 	}
 	if f.index == nil {
 		return ch.UpdateStats{}, nil

@@ -2,15 +2,21 @@ package ch
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fed"
 	"repro/internal/graph"
+	"repro/internal/mpc"
 )
 
 // skipRec records a shortcut pair that was *not* added because a witness path
-// no longer than the via path existed at decision time. The witness's arc set
-// is kept so dynamic updates know when the decision must be re-examined.
+// strictly shorter than the via path existed at decision time. The witness's
+// arc set is kept so dynamic updates know when the decision must be
+// re-examined.
 type skipRec struct {
 	u, w        graph.Vertex
 	witnessArcs []int32
@@ -27,7 +33,8 @@ type hierarchyState struct {
 }
 
 // Params tunes index construction. The zero value gives the paper's setup:
-// edge-difference ordering and the default witness-search cap.
+// edge-difference ordering, the default witness-search cap, one contraction
+// worker per CPU and batched Fed-SAC decisions.
 type Params struct {
 	// Ordering selects the public importance heuristic (default
 	// OrderEdgeDiff).
@@ -35,6 +42,20 @@ type Params struct {
 	// WitnessCap bounds witness-search settles (default DefaultWitnessCap).
 	// Smaller caps build faster but add more conservative shortcuts.
 	WitnessCap int
+	// Workers sets the contraction worker pool for the independent-set
+	// rounds (0 = GOMAXPROCS, 1 = sequential). The built index is
+	// byte-identical for every worker count; Workers trades wall time only.
+	Workers int
+	// NoBatch resolves every witness decision and min-arc match with an
+	// individual Fed-SAC comparison instead of per-contraction CompareBatch
+	// instances. Diagnostics only: it isolates the MPC-round saving of
+	// batching (BuildStats.RoundsSaved) without changing the result.
+	NoBatch bool
+	// RebuildOnConflict is consumed by the fedroad layer's non-blocking
+	// BuildIndexWith: when a concurrent traffic update invalidates the
+	// weight snapshot mid-build, the build is retried from fresh weights up
+	// to this many times before ErrBuildConflict is returned.
+	RebuildOnConflict int
 }
 
 // Build constructs the federated shortcut index with the default parameters.
@@ -46,27 +67,57 @@ func Build(f *fed.Federation) (*Index, error) {
 // (Alg. 3): a public ordering pass fixes the contraction order; the
 // contraction pass then decides every shortcut on *joint* weights via
 // Fed-SAC, so all silos end with identical shortcut sets while each keeps
-// only its partial shortcut weights.
+// only its partial shortcut weights. Equivalent to NewBuilder followed by
+// Run; callers that must not hold a lock during construction use the two
+// phases directly.
 func BuildWith(f *fed.Federation, prm Params) (*Index, error) {
-	start := time.Now()
-	g := f.Graph()
-	n := g.NumVertices()
-	p := f.P()
+	b, err := NewBuilder(f, prm)
+	if err != nil {
+		return nil, err
+	}
+	return b.Run()
+}
+
+// Builder splits index construction into a snapshot phase and a work phase so
+// callers can keep their own locking brief: NewBuilder copies the silos'
+// private weights (the only read of mutable federation state), and Run
+// performs the entire ordering + contraction effort against that snapshot.
+// The fedroad layer builds without blocking queries this way — snapshot under
+// a read lock, Run with no lock held, swap the finished index in under a
+// brief write lock.
+type Builder struct {
+	f       *fed.Federation
+	prm     Params
+	x       *Index
+	workers []*fed.Federation // one forked engine per contraction worker
+	sacs    []*fed.SAC
+	ran     bool
+}
+
+// NewBuilder validates the parameters and snapshots the federation: base
+// overlay arcs, per-silo partial weights and one forked MPC engine per
+// contraction worker. The root engine is never used by the build, so the
+// caller may keep using it (e.g. for dynamic updates of a previous index)
+// while Run executes.
+func NewBuilder(f *fed.Federation, prm Params) (*Builder, error) {
+	switch prm.Ordering {
+	case "":
+		prm.Ordering = OrderEdgeDiff
+	case OrderEdgeDiff, OrderDegree:
+	default:
+		return nil, fmt.Errorf("ch: unknown ordering %q", prm.Ordering)
+	}
 	if prm.WitnessCap == 0 {
 		prm.WitnessCap = DefaultWitnessCap
 	}
-	if prm.Ordering == "" {
-		prm.Ordering = OrderEdgeDiff
+	g := f.Graph()
+	n := g.NumVertices()
+	p := f.P()
+	if prm.Workers <= 0 {
+		prm.Workers = runtime.GOMAXPROCS(0)
 	}
-
-	var order []graph.Vertex
-	switch prm.Ordering {
-	case OrderEdgeDiff:
-		order = computeOrder(g, f.StaticWeights())
-	case OrderDegree:
-		order = computeOrderDegree(g)
-	default:
-		return nil, fmt.Errorf("ch: unknown ordering %q", prm.Ordering)
+	if n > 0 && prm.Workers > n {
+		prm.Workers = n
 	}
 
 	x := &Index{
@@ -74,6 +125,7 @@ func BuildWith(f *fed.Federation, prm Params) (*Index, error) {
 		rank:       make([]int32, n),
 		numBase:    g.NumArcs(),
 		witnessCap: prm.WitnessCap,
+		noBatch:    prm.NoBatch,
 	}
 	for v := range x.rank {
 		x.rank[v] = -1
@@ -103,14 +155,104 @@ func BuildWith(f *fed.Federation, prm Params) (*Index, error) {
 		x.hs.inAll[w] = append(x.hs.inAll[w], int32(a))
 	}
 
-	sac := f.NewSAC()
-	before := f.Engine().Stats()
+	b := &Builder{f: f, prm: prm, x: x}
+	for i := 0; i < prm.Workers; i++ {
+		wf := f.Fork()
+		b.workers = append(b.workers, wf)
+		b.sacs = append(b.sacs, wf.NewSAC())
+	}
+	return b, nil
+}
 
-	for k, v := range order {
-		x.contract(sac, v, buildEligibility(x))
-		x.rank[v] = int32(k)
-		if err := sac.Err(); err != nil {
-			return nil, err
+// Run executes the ordering and contraction phases against the snapshot taken
+// by NewBuilder and returns the finished index. It reads no mutable
+// federation state, so it needs no external synchronization. Run may be
+// called once.
+func (b *Builder) Run() (*Index, error) {
+	if b.ran {
+		return nil, fmt.Errorf("ch: Builder.Run called twice")
+	}
+	b.ran = true
+	defer func() {
+		for _, wf := range b.workers {
+			wf.Engine().Close()
+		}
+	}()
+
+	start := time.Now()
+	x := b.x
+	g := b.f.Graph()
+	n := g.NumVertices()
+
+	var order []graph.Vertex
+	switch b.prm.Ordering {
+	case OrderEdgeDiff:
+		order = computeOrder(g, b.f.StaticWeights())
+	case OrderDegree:
+		order = computeOrderDegree(g)
+	}
+	orderingTime := time.Since(start)
+
+	// Contraction proceeds in rounds: each round greedily selects, following
+	// the contraction order, a maximal set of vertices pairwise non-adjacent
+	// in the current overlay; their contractions read disjoint arc
+	// neighborhoods and are proposed concurrently against the round-start
+	// snapshot, then merged (and ranked) in order — so the result is
+	// byte-identical to the Workers=1 run. See DESIGN.md, "Parallel index
+	// construction" for the soundness argument.
+	el := buildEligibility(x)
+	inSet := make([]bool, n)
+	pos, rounds, maxWidth := 0, 0, 0
+	for pos < n {
+		var set []graph.Vertex
+		for _, v := range order {
+			if x.rank[v] >= 0 || x.adjacentToSet(v, inSet, el) {
+				continue
+			}
+			inSet[v] = true
+			set = append(set, v)
+		}
+		props := make([]*proposal, len(set))
+		if len(b.workers) == 1 || len(set) == 1 {
+			for i, v := range set {
+				props[i] = x.propose(b.sacs[0], v, el)
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			nw := len(b.workers)
+			if nw > len(set) {
+				nw = len(set)
+			}
+			for wi := 0; wi < nw; wi++ {
+				wg.Add(1)
+				go func(sac *fed.SAC) {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(set) {
+							return
+						}
+						props[i] = x.propose(sac, set[i], el)
+					}
+				}(b.sacs[wi])
+			}
+			wg.Wait()
+		}
+		for _, sac := range b.sacs {
+			if err := sac.Err(); err != nil {
+				return nil, err
+			}
+		}
+		for i, v := range set {
+			x.apply(props[i])
+			x.rank[v] = int32(pos)
+			pos++
+			inSet[v] = false
+		}
+		rounds++
+		if len(set) > maxWidth {
+			maxWidth = len(set)
 		}
 	}
 
@@ -121,12 +263,43 @@ func BuildWith(f *fed.Federation, prm Params) (*Index, error) {
 		x.addArcToQueryLists(a)
 	}
 
+	var sacStats mpc.Stats
+	for _, wf := range b.workers {
+		sacStats.Add(wf.Engine().Stats())
+	}
+	avgWidth := 0.0
+	if rounds > 0 {
+		avgWidth = float64(n) / float64(rounds)
+	}
 	x.buildStats = BuildStats{
-		Shortcuts: x.NumShortcuts(),
-		SAC:       f.Engine().Stats().Sub(before),
-		WallTime:  time.Since(start),
+		Shortcuts:       x.NumShortcuts(),
+		SAC:             sacStats,
+		WallTime:        time.Since(start),
+		Workers:         len(b.workers),
+		Rounds:          rounds,
+		MaxRoundWidth:   maxWidth,
+		AvgRoundWidth:   avgWidth,
+		RoundsSaved:     sacStats.Compares*int64(mpc.RoundsPerCompare) - sacStats.Rounds,
+		OrderingTime:    orderingTime,
+		ContractionTime: time.Since(start) - orderingTime,
 	}
 	return x, nil
+}
+
+// adjacentToSet reports whether v shares an eligible overlay arc with a
+// vertex already selected for the current contraction round.
+func (x *Index) adjacentToSet(v graph.Vertex, inSet []bool, el eligibility) bool {
+	for _, a := range x.hs.inAll[v] {
+		if el.arcOK(a) && inSet[x.tail[a]] {
+			return true
+		}
+	}
+	for _, a := range x.hs.outAll[v] {
+		if el.arcOK(a) && inSet[x.head[a]] {
+			return true
+		}
+	}
+	return false
 }
 
 // eligibility tells the contraction machinery which overlay arcs and
@@ -157,79 +330,169 @@ func updateEligibility(x *Index, k int32) eligibility {
 	}
 }
 
-// contract runs the (re-)contraction of v: for every in-neighbor u and
-// out-neighbor w present in the remaining graph, compare the joint via cost
-// against a federated witness search and add the shortcut when the via path
-// wins. Decisions already materialized (an existing shortcut with via v) are
-// refreshed rather than duplicated. Returns the IDs of newly added shortcut
-// arcs.
-func (x *Index) contract(sac *fed.SAC, v graph.Vertex, el eligibility) []int32 {
+// proposal is the read-only outcome of contracting one vertex against a
+// fixed overlay snapshot. All mutations are deferred to apply, so proposals
+// computed concurrently for non-adjacent vertices of the same round merge
+// deterministically.
+type proposal struct {
+	v         graph.Vertex
+	shortcuts []propShortcut
+	refresh   []refreshRec
+	skips     []skipRec
+}
+
+// propShortcut is a new shortcut tail(ca) → v → head(cb).
+type propShortcut struct{ ca, cb int32 }
+
+// refreshRec re-binds an existing shortcut a (via v) to the via arcs (ca,cb)
+// and partial weights decided by the latest re-contraction.
+type refreshRec struct {
+	a, ca, cb int32
+	via       fed.Partial
+}
+
+// propose computes the (re-)contraction of v without mutating the overlay:
+// for every in-neighbor u and out-neighbor w present in the remaining graph,
+// the joint via cost is compared against a federated witness search. The
+// independent Fed-SAC decisions of the contraction — the parallel-arc
+// tournament matches and the final witness-vs-via comparisons — run as
+// CompareBatch instances instead of one comparison each (unless noBatch).
+//
+// A shortcut is skipped only when the witness is STRICTLY shorter than the
+// via path; ties add the shortcut. Strictness is what keeps simultaneous
+// same-round contractions sound: with a tie-skip rule, two vertices
+// contracted from the same snapshot could each cite the other's equal-cost
+// path as witness and both drop it.
+func (x *Index) propose(sac *fed.SAC, v graph.Vertex, el eligibility) *proposal {
 	p := x.f.P()
-	minIn := x.minArcPerNeighbor(sac, x.hs.inAll[v], true, v, el)
-	minOut := x.minArcPerNeighbor(sac, x.hs.outAll[v], false, v, el)
+	prop := &proposal{v: v}
+	groups := x.minArcGroups(x.hs.inAll[v], true, v, el)
+	nIn := len(groups)
+	groups = append(groups, x.minArcGroups(x.hs.outAll[v], false, v, el)...)
+	x.reduceMinArcs(sac, groups)
+	minIn, minOut := groups[:nIn], groups[nIn:]
 	if len(minIn) == 0 || len(minOut) == 0 {
-		x.hs.skips[v] = nil
-		return nil
-	}
-	existing := make(map[[2]graph.Vertex]int32)
-	for _, a := range x.hs.viaIndex[v] {
-		existing[[2]graph.Vertex{x.tail[a], x.head[a]}] = a
+		return prop
 	}
 
-	var added []int32
-	var skips []skipRec
-	for u, arcUV := range minIn {
-		targets := make(map[graph.Vertex]fed.Partial)
-		viaArcs := make(map[graph.Vertex][2]int32)
-		for w, arcVW := range minOut {
-			if w == u {
+	type candidate struct {
+		u, w         graph.Vertex
+		arcUV, arcVW int32
+		via, wit     fed.Partial // wit nil when no witness settled
+		witArcs      []int32
+	}
+	var cands []candidate
+	for _, gu := range minIn {
+		u, arcUV := gu.other, gu.arcs[0]
+		targets := make(map[graph.Vertex]fed.Partial, len(minOut))
+		for _, gw := range minOut {
+			if gw.other == u {
 				continue
 			}
 			via := make(fed.Partial, p)
 			for s := 0; s < p; s++ {
-				via[s] = x.siloW[s][arcUV] + x.siloW[s][arcVW]
+				via[s] = x.siloW[s][arcUV] + x.siloW[s][gw.arcs[0]]
 			}
-			targets[w] = via
-			viaArcs[w] = [2]int32{arcUV, arcVW}
+			targets[gw.other] = via
 		}
 		if len(targets) == 0 {
 			continue
 		}
 		dists, witArcs := x.witnessSearch(sac, u, v, targets, el)
-		for w, via := range targets {
-			needShortcut := true
-			if d, ok := dists[w]; ok {
-				// Shortest u→w path runs through v only if via is strictly
-				// shorter than the best path avoiding v.
-				needShortcut = sac.Less(via, d)
+		for _, gw := range minOut {
+			via, ok := targets[gw.other]
+			if !ok {
+				continue
 			}
-			if needShortcut {
-				ca, cb := viaArcs[w][0], viaArcs[w][1]
-				if a, ok := existing[[2]graph.Vertex{u, w}]; ok {
-					if x.childA[a] != ca || x.childB[a] != cb {
-						x.childA[a], x.childB[a] = ca, cb
-						x.hs.parents[ca] = append(x.hs.parents[ca], a)
-						x.hs.parents[cb] = append(x.hs.parents[cb], a)
-					}
-					for s := 0; s < p; s++ {
-						x.siloW[s][a] = via[s]
-					}
-				} else {
-					added = append(added, x.addShortcut(v, ca, cb))
-				}
-			} else {
-				skips = append(skips, skipRec{u: u, w: w, witnessArcs: witArcs[w]})
+			c := candidate{u: u, w: gw.other, arcUV: arcUV, arcVW: gw.arcs[0], via: via}
+			if d, ok := dists[gw.other]; ok {
+				c.wit, c.witArcs = d, witArcs[gw.other]
 			}
+			cands = append(cands, c)
 		}
 	}
-	x.hs.skips[v] = skips
+
+	skip := make([]bool, len(cands))
+	if x.noBatch {
+		for i, c := range cands {
+			if c.wit != nil {
+				skip[i] = sac.Less(c.wit, c.via)
+			}
+		}
+	} else {
+		var pairs [][2]fed.Partial
+		var refs []int
+		for i, c := range cands {
+			if c.wit != nil {
+				pairs = append(pairs, [2]fed.Partial{c.wit, c.via})
+				refs = append(refs, i)
+			}
+		}
+		for j, less := range sac.LessBatch(pairs) {
+			skip[refs[j]] = less
+		}
+	}
+
+	existing := make(map[[2]graph.Vertex]int32, len(x.hs.viaIndex[v]))
+	for _, a := range x.hs.viaIndex[v] {
+		existing[[2]graph.Vertex{x.tail[a], x.head[a]}] = a
+	}
+	for i, c := range cands {
+		if skip[i] {
+			prop.skips = append(prop.skips, skipRec{u: c.u, w: c.w, witnessArcs: c.witArcs})
+			continue
+		}
+		if a, ok := existing[[2]graph.Vertex{c.u, c.w}]; ok {
+			prop.refresh = append(prop.refresh, refreshRec{a: a, ca: c.arcUV, cb: c.arcVW, via: c.via})
+		} else {
+			prop.shortcuts = append(prop.shortcuts, propShortcut{ca: c.arcUV, cb: c.arcVW})
+		}
+	}
+	return prop
+}
+
+// apply materializes a proposal: refreshed shortcut bindings, new shortcut
+// arcs (IDs assigned here, in the proposal's deterministic neighbor-sorted
+// order) and the vertex's skip records. Returns the newly added shortcut IDs.
+func (x *Index) apply(prop *proposal) []int32 {
+	for _, r := range prop.refresh {
+		if x.childA[r.a] != r.ca || x.childB[r.a] != r.cb {
+			x.childA[r.a], x.childB[r.a] = r.ca, r.cb
+			x.hs.parents[r.ca] = append(x.hs.parents[r.ca], r.a)
+			x.hs.parents[r.cb] = append(x.hs.parents[r.cb], r.a)
+		}
+		for s := range x.siloW {
+			x.siloW[s][r.a] = r.via[s]
+		}
+	}
+	var added []int32
+	for _, sc := range prop.shortcuts {
+		added = append(added, x.addShortcut(prop.v, sc.ca, sc.cb))
+	}
+	x.hs.skips[prop.v] = prop.skips
 	return added
 }
 
-// minArcPerNeighbor reduces parallel arcs between v and each neighbor to the
-// joint-minimum arc, using one Fed-SAC per extra parallel.
-func (x *Index) minArcPerNeighbor(sac *fed.SAC, arcs []int32, incoming bool, v graph.Vertex, el eligibility) map[graph.Vertex]int32 {
-	best := make(map[graph.Vertex]int32)
+// contract runs the (re-)contraction of v synchronously — propose against
+// the current overlay, then apply. Used by the sequential paths (dynamic
+// update re-verification). Returns the IDs of newly added shortcut arcs.
+func (x *Index) contract(sac *fed.SAC, v graph.Vertex, el eligibility) []int32 {
+	return x.apply(x.propose(sac, v, el))
+}
+
+// neighborGroup gathers the eligible parallel arcs between the contracted
+// vertex and one neighbor. After reduceMinArcs, arcs[0] is the joint-minimum
+// arc.
+type neighborGroup struct {
+	other graph.Vertex
+	arcs  []int32
+}
+
+// minArcGroups buckets the eligible overlay arcs incident to v by neighbor,
+// in deterministic neighbor-sorted order (map iteration order must never
+// leak into shortcut IDs or skip records — builds are byte-reproducible).
+func (x *Index) minArcGroups(arcs []int32, incoming bool, v graph.Vertex, el eligibility) []neighborGroup {
+	byOther := make(map[graph.Vertex][]int32)
 	for _, a := range arcs {
 		if !el.arcOK(a) {
 			continue
@@ -241,11 +504,73 @@ func (x *Index) minArcPerNeighbor(sac *fed.SAC, arcs []int32, incoming bool, v g
 		if other == v || !el.vtxOK(other) {
 			continue
 		}
-		if cur, ok := best[other]; !ok || sac.Less(x.Partial(a), x.Partial(cur)) {
-			best[other] = a
+		byOther[other] = append(byOther[other], a)
+	}
+	others := make([]graph.Vertex, 0, len(byOther))
+	for o := range byOther {
+		others = append(others, o)
+	}
+	sort.Slice(others, func(i, j int) bool { return others[i] < others[j] })
+	groups := make([]neighborGroup, len(others))
+	for i, o := range others {
+		groups[i] = neighborGroup{other: o, arcs: byOther[o]}
+	}
+	return groups
+}
+
+// reduceMinArcs reduces every group to its joint-minimum arc by a tournament
+// whose per-level matches — independent across pairs and groups — run in one
+// batched Fed-SAC instance per level. A later arc wins its match only when
+// strictly smaller, so each group's winner is its earliest joint minimum,
+// exactly the arc a sequential left-to-right fold selects.
+func (x *Index) reduceMinArcs(sac *fed.SAC, groups []neighborGroup) {
+	for {
+		var pairs [][2]fed.Partial
+		type matchRef struct{ gi, pi int }
+		var refs []matchRef
+		for gi := range groups {
+			as := groups[gi].arcs
+			for pi := 0; pi+1 < len(as); pi += 2 {
+				pairs = append(pairs, [2]fed.Partial{x.Partial(as[pi+1]), x.Partial(as[pi])})
+				refs = append(refs, matchRef{gi, pi})
+			}
+		}
+		if len(pairs) == 0 {
+			return
+		}
+		var res []bool
+		if x.noBatch {
+			res = make([]bool, len(pairs))
+			for i, pr := range pairs {
+				res[i] = sac.Less(pr[0], pr[1])
+			}
+		} else {
+			res = sac.LessBatch(pairs)
+		}
+		next := make([][]int32, len(groups))
+		for gi, g := range groups {
+			if len(g.arcs) > 1 {
+				next[gi] = make([]int32, 0, (len(g.arcs)+1)/2)
+			}
+		}
+		for mi, r := range refs {
+			as := groups[r.gi].arcs
+			win := as[r.pi]
+			if res[mi] {
+				win = as[r.pi+1]
+			}
+			next[r.gi] = append(next[r.gi], win)
+		}
+		for gi := range groups {
+			if next[gi] == nil {
+				continue
+			}
+			if len(groups[gi].arcs)%2 == 1 {
+				next[gi] = append(next[gi], groups[gi].arcs[len(groups[gi].arcs)-1])
+			}
+			groups[gi].arcs = next[gi]
 		}
 	}
-	return best
 }
 
 // addShortcut appends a new shortcut arc composed of two existing overlay

@@ -1,0 +1,138 @@
+package ch
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/fed"
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/traffic"
+)
+
+// fuzzEnv builds one small valid index and serializes it, shared across all
+// fuzz executions (the corpus mutates the bytes, not the build).
+type fuzzEnv struct {
+	f      *fed.Federation
+	public []byte
+	shards [][]byte
+}
+
+var (
+	fuzzOnce sync.Once
+	fuzzed   *fuzzEnv
+)
+
+func getFuzzEnv(tb testing.TB) *fuzzEnv {
+	fuzzOnce.Do(func() {
+		g, w0 := graph.GenerateGrid(4, 5, 17)
+		sets := traffic.SiloWeights(w0, 2, traffic.Moderate, 18)
+		f, err := fed.New(g, w0, sets, mpc.Params{Mode: mpc.ModeIdeal, Seed: 19})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		x, err := Build(f)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var pub bytes.Buffer
+		if err := x.WritePublic(&pub); err != nil {
+			tb.Fatal(err)
+		}
+		env := &fuzzEnv{f: f, public: pub.Bytes()}
+		for p := 0; p < f.P(); p++ {
+			var b bytes.Buffer
+			if err := x.WriteSiloWeights(p, &b); err != nil {
+				tb.Fatal(err)
+			}
+			env.shards = append(env.shards, b.Bytes())
+		}
+		fuzzed = env
+	})
+	return fuzzed
+}
+
+// FuzzLoadIndexPublic feeds mutated public-structure bytes (alongside valid
+// shards) into LoadIndex: it must either load a structurally valid index or
+// return an error — never panic, hang, or hand back an index that violates
+// the hierarchy invariants queries rely on.
+func FuzzLoadIndexPublic(f *testing.F) {
+	env := getFuzzEnv(f)
+	f.Add(env.public)                     // the valid encoding
+	f.Add(env.public[:len(env.public)/2]) // truncation
+	f.Add([]byte{})                       // empty
+	// A few targeted corruptions: header fields, arc table, skip records.
+	for _, off := range []int{0, 4, 8, 12, 16, 20, 24, len(env.public) - 4} {
+		if off >= 0 && off+4 <= len(env.public) {
+			mut := append([]byte(nil), env.public...)
+			mut[off] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, public []byte) {
+		env := getFuzzEnv(t)
+		shards := make([]io.Reader, len(env.shards))
+		for p := range shards {
+			shards[p] = bytes.NewReader(env.shards[p])
+		}
+		x, err := LoadIndex(env.f, bytes.NewReader(public), shards)
+		if err != nil {
+			return // clean rejection is the expected outcome for corrupt input
+		}
+		// Whatever loaded must satisfy the invariants LoadIndex validates;
+		// spot-check the ones queries and updates depend on.
+		g := env.f.Graph()
+		n := g.NumVertices()
+		for a := int32(0); a < int32(x.NumArcs()); a++ {
+			if int(x.Tail(a)) < 0 || int(x.Tail(a)) >= n || int(x.Head(a)) < 0 || int(x.Head(a)) >= n {
+				t.Fatalf("loaded index has arc %d with out-of-range endpoints", a)
+			}
+			if v := x.Via(a); v != NoShortcut {
+				if x.Rank(v) >= x.Rank(x.Tail(a)) || v == x.Tail(a) || v == x.Head(a) {
+					t.Fatalf("loaded index has shortcut %d violating the via-rank invariant", a)
+				}
+				// Unpack must terminate and stay within simple-path length.
+				if l := len(x.Unpack(a)); l > n+1 {
+					t.Fatalf("shortcut %d unpacks to %d vertices (max %d)", a, l, n+1)
+				}
+			}
+		}
+	})
+}
+
+// FuzzLoadIndexShard mutates one weight shard while keeping the public part
+// valid: weights must be validated (positive, complete) or rejected cleanly.
+func FuzzLoadIndexShard(f *testing.F) {
+	env := getFuzzEnv(f)
+	f.Add(env.shards[0])
+	f.Add(env.shards[0][:8])
+	f.Add([]byte{})
+	for _, off := range []int{0, 4, 8, 12, 16, 24} {
+		if off+4 <= len(env.shards[0]) {
+			mut := append([]byte(nil), env.shards[0]...)
+			mut[off] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, shard0 []byte) {
+		env := getFuzzEnv(t)
+		shards := make([]io.Reader, len(env.shards))
+		shards[0] = bytes.NewReader(shard0)
+		for p := 1; p < len(env.shards); p++ {
+			shards[p] = bytes.NewReader(env.shards[p])
+		}
+		x, err := LoadIndex(env.f, bytes.NewReader(env.public), shards)
+		if err != nil {
+			return
+		}
+		for a := int32(0); a < int32(x.NumArcs()); a++ {
+			for p := 0; p < env.f.P(); p++ {
+				if x.SiloWeight(p, a) <= 0 {
+					t.Fatalf("loaded index has non-positive weight (silo %d, arc %d)", p, a)
+				}
+			}
+		}
+	})
+}

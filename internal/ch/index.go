@@ -55,6 +55,7 @@ type Index struct {
 
 	hs         *hierarchyState
 	witnessCap int
+	noBatch    bool // resolve Fed-SAC decisions one-by-one (diagnostics)
 	buildStats BuildStats
 }
 
@@ -63,6 +64,18 @@ type BuildStats struct {
 	Shortcuts int
 	SAC       mpc.Stats // secure-comparison usage during construction
 	WallTime  time.Duration
+
+	// Parallel-build pipeline statistics.
+	Workers       int     // contraction worker pool size
+	Rounds        int     // independent-set contraction rounds
+	MaxRoundWidth int     // largest set contracted in one round
+	AvgRoundWidth float64 // vertices contracted per round on average
+	// RoundsSaved counts the MPC communication rounds avoided by resolving
+	// independent decisions through batched Fed-SAC: each batch of k
+	// comparisons pays RoundsPerCompare rounds once instead of k times.
+	RoundsSaved     int64
+	OrderingTime    time.Duration // public plaintext ordering phase
+	ContractionTime time.Duration // federated contraction phase
 }
 
 // Federation returns the federation this index belongs to.

@@ -2,6 +2,7 @@ package ch
 
 import (
 	"container/heap"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -123,11 +124,20 @@ func computeOrder(g *graph.Graph, w0 graph.Weights) []graph.Vertex {
 			if _, isTarget := targets[y]; isTarget {
 				found++
 			}
-			for z, wz := range out[y] {
+			// Relax in sorted neighbor order: under the settle cap, the
+			// heap's tie order decides WHICH vertices settle, so map
+			// iteration order must not leak into the result — the ordering
+			// (and with it the whole build) must be reproducible run to run.
+			nbrs := make([]graph.Vertex, 0, len(out[y]))
+			for z := range out[y] {
+				nbrs = append(nbrs, z)
+			}
+			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+			for _, z := range nbrs {
 				if z == v || contracted[z] {
 					continue
 				}
-				if nd := dy + wz; !settled[z] {
+				if nd := dy + out[y][z]; !settled[z] {
 					if old, ok := dist[z]; !ok || nd < old {
 						dist[z] = nd
 						h.push(z, nd)
@@ -155,8 +165,11 @@ func computeOrder(g *graph.Graph, w0 graph.Weights) []graph.Vertex {
 			}
 			settledD := witnessPlain(u, v, targets)
 			for w, via := range targets {
+				// A witness skips the shortcut only when STRICTLY shorter,
+				// mirroring the federated contraction's tie rule (see
+				// Index.propose).
 				d, ok := settledD[w]
-				if !ok || via < d {
+				if !ok || via <= d {
 					needed++
 					pairs = append(pairs, [2]graph.Vertex{u, w})
 				}

@@ -167,6 +167,13 @@ func LoadIndex(f *fed.Federation, public io.Reader, shards []io.Reader) (*Index,
 	if numBase != f.Graph().NumArcs() || m < numBase {
 		return nil, fmt.Errorf("ch: arc counts inconsistent (%d base, %d overlay, graph %d)", numBase, m, f.Graph().NumArcs())
 	}
+	// The builder adds at most one shortcut per (u, via, w) triple, so any
+	// genuine index satisfies m ≤ numBase + n³. A corrupt header can claim up
+	// to 2³²−1 arcs; reject before allocating by it (uint64 math — n³ may
+	// overflow int on 32-bit).
+	if uint64(m) > uint64(numBase)+uint64(n)*uint64(n)*uint64(n) {
+		return nil, fmt.Errorf("ch: implausible overlay arc count %d for %d vertices", m, n)
+	}
 	x := &Index{
 		f:          f,
 		rank:       make([]int32, n),
@@ -178,11 +185,16 @@ func LoadIndex(f *fed.Federation, public io.Reader, shards []io.Reader) (*Index,
 		numBase:    numBase,
 		witnessCap: DefaultWitnessCap,
 	}
+	seenRank := make([]bool, n)
 	for v := 0; v < n; v++ {
 		r, err := rd.u32()
 		if err != nil {
 			return nil, err
 		}
+		if r >= uint32(n) || seenRank[r] {
+			return nil, fmt.Errorf("ch: rank table is not a permutation of [0,%d)", n)
+		}
+		seenRank[r] = true
 		x.rank[v] = int32(r)
 	}
 	x.hs = &hierarchyState{
@@ -206,25 +218,72 @@ func LoadIndex(f *fed.Federation, public io.Reader, shards []io.Reader) (*Index,
 		x.via[a] = graph.Vertex(int32(vals[2]))
 		x.childA[a] = int32(vals[3])
 		x.childB[a] = int32(vals[4])
-		if int(x.tail[a]) >= n || int(x.head[a]) >= n {
+		// Casting uint32 to the int32-backed Vertex can produce negatives:
+		// check both ends of the range before any slice indexing.
+		if int(x.tail[a]) < 0 || int(x.tail[a]) >= n || int(x.head[a]) < 0 || int(x.head[a]) >= n {
 			return nil, fmt.Errorf("ch: arc %d endpoints out of range", a)
 		}
 		ai := int32(a)
+		if a < numBase {
+			if x.via[a] != NoShortcut {
+				return nil, fmt.Errorf("ch: base arc %d marked as shortcut", a)
+			}
+			if x.tail[a] != f.Graph().Tail(graph.Arc(a)) || x.head[a] != f.Graph().Head(graph.Arc(a)) {
+				return nil, fmt.Errorf("ch: base arc %d does not match the federation graph", a)
+			}
+		} else if x.via[a] == NoShortcut {
+			return nil, fmt.Errorf("ch: overlay arc %d beyond the base range is not a shortcut", a)
+		}
 		x.hs.outAll[x.tail[a]] = append(x.hs.outAll[x.tail[a]], ai)
 		x.hs.inAll[x.head[a]] = append(x.hs.inAll[x.head[a]], ai)
 		if x.via[a] != NoShortcut {
-			if x.childA[a] < 0 || x.childA[a] >= ai || x.childB[a] < 0 || x.childB[a] >= ai {
+			v := x.via[a]
+			if int(v) < 0 || int(v) >= n {
+				return nil, fmt.Errorf("ch: shortcut %d via vertex out of range", a)
+			}
+			ca, cb := x.childA[a], x.childB[a]
+			if ca < 0 || ca >= ai || cb < 0 || cb >= ai {
 				return nil, fmt.Errorf("ch: shortcut %d has invalid children", a)
 			}
-			x.hs.viaIndex[x.via[a]] = append(x.hs.viaIndex[x.via[a]], ai)
-			x.hs.parents[x.childA[a]] = append(x.hs.parents[x.childA[a]], ai)
-			x.hs.parents[x.childB[a]] = append(x.hs.parents[x.childB[a]], ai)
+			// A shortcut must actually compose its children around its via
+			// vertex, and the via vertex must have been contracted before
+			// both endpoints — the invariants every query and dynamic update
+			// relies on.
+			if x.tail[ca] != x.tail[a] || x.head[cb] != x.head[a] ||
+				x.head[ca] != v || x.tail[cb] != v {
+				return nil, fmt.Errorf("ch: shortcut %d children do not compose via vertex %d", a, v)
+			}
+			if x.rank[v] >= x.rank[x.tail[a]] || x.rank[v] >= x.rank[x.head[a]] {
+				return nil, fmt.Errorf("ch: shortcut %d via vertex does not rank below its endpoints", a)
+			}
+			x.hs.viaIndex[v] = append(x.hs.viaIndex[v], ai)
+			x.hs.parents[ca] = append(x.hs.parents[ca], ai)
+			x.hs.parents[cb] = append(x.hs.parents[cb], ai)
+		}
+	}
+	// Reject shortcut trees that unpack into longer walks than any simple
+	// path admits (a corrupt file could share children Fibonacci-style and
+	// make Unpack explode exponentially). Children precede parents in arc
+	// order, so one ascending pass suffices.
+	pathLen := make([]int64, m)
+	for a := 0; a < m; a++ {
+		if x.via[a] == NoShortcut {
+			pathLen[a] = 1
+			continue
+		}
+		pathLen[a] = pathLen[x.childA[a]] + pathLen[x.childB[a]]
+		if pathLen[a] > int64(n) {
+			return nil, fmt.Errorf("ch: shortcut %d unpacks to %d arcs (max %d)", a, pathLen[a], n)
 		}
 	}
 	for v := 0; v < n; v++ {
 		cnt, err := rd.u32()
 		if err != nil {
 			return nil, err
+		}
+		// One contraction records at most one skip per (u,w) pair.
+		if uint64(cnt) > uint64(n)*uint64(n) {
+			return nil, fmt.Errorf("ch: implausible skip record count %d for vertex %d", cnt, v)
 		}
 		recs := make([]skipRec, cnt)
 		for i := range recs {
@@ -235,6 +294,9 @@ func LoadIndex(f *fed.Federation, public io.Reader, shards []io.Reader) (*Index,
 			wv, err := rd.u32()
 			if err != nil {
 				return nil, err
+			}
+			if u >= uint32(n) || wv >= uint32(n) {
+				return nil, fmt.Errorf("ch: skip record endpoints out of range for vertex %d", v)
 			}
 			na, err := rd.u32()
 			if err != nil {
@@ -285,6 +347,12 @@ func LoadIndex(f *fed.Federation, public io.Reader, shards []io.Reader) (*Index,
 			v, err := srd.i64()
 			if err != nil {
 				return nil, err
+			}
+			// Silo weights are strictly positive (fed.Silo.SetWeight enforces
+			// it) and shortcut partials are sums of them; a non-positive
+			// entry means corruption and would break every search invariant.
+			if v <= 0 {
+				return nil, fmt.Errorf("ch: shard %d has non-positive weight for arc %d", p, a)
 			}
 			ws[a] = v
 		}

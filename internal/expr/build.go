@@ -1,0 +1,151 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/ch"
+	"repro/internal/fed"
+	"repro/internal/mpc"
+	"repro/internal/traffic"
+)
+
+// BuildBenchRow measures one index-construction configuration on one
+// dataset: sequential vs parallel contraction, batched vs per-pair Fed-SAC.
+type BuildBenchRow struct {
+	Dataset  string `json:"dataset"`
+	Vertices int    `json:"vertices"`
+	Arcs     int    `json:"arcs"`
+	Workers  int    `json:"workers"`
+	Batched  bool   `json:"batched"`
+
+	WallMs        float64 `json:"wall_ms"`
+	OrderingMs    float64 `json:"ordering_ms"`
+	ContractionMs float64 `json:"contraction_ms"`
+
+	Shortcuts         int     `json:"shortcuts"`
+	Compares          int64   `json:"fed_sacs"`
+	MPCRounds         int64   `json:"mpc_rounds"`
+	RoundsSaved       int64   `json:"mpc_rounds_saved"`
+	ContractionRounds int     `json:"contraction_rounds"`
+	AvgParallelism    float64 `json:"avg_parallelism"`
+
+	// SpeedupVsSeq is this row's wall-time speedup over the sequential
+	// batched build of the same dataset (1.0 for that baseline itself).
+	SpeedupVsSeq float64 `json:"speedup_vs_seq"`
+}
+
+// BuildBenchReport is the BENCH_build.json document.
+type BuildBenchReport struct {
+	Experiment string          `json:"experiment"`
+	Silos      int             `json:"silos"`
+	Rows       []BuildBenchRow `json:"rows"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r BuildBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r BuildBenchReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("expr: build bench report: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("expr: build bench report: %w", err)
+	}
+	return f.Close()
+}
+
+// RunIndexBuildBench benchmarks index construction across the configured
+// datasets under three regimes: sequential unbatched (the naive baseline),
+// sequential batched, and parallel batched at min(8, GOMAXPROCS overridable)
+// workers. Every variant rebuilds from an identical fresh federation; the
+// row set records wall time, phase split, and the Fed-SAC round economics.
+func (h *Harness) RunIndexBuildBench() (*BuildBenchReport, error) {
+	rep := &BuildBenchReport{Experiment: "index-build", Silos: h.cfg.Silos}
+	variants := []ch.Params{
+		{Workers: 1, NoBatch: true},
+		{Workers: 1},
+		{Workers: 8},
+	}
+	for _, name := range h.cfg.Datasets {
+		g, w0, spec := h.generate(name)
+		var seqWall time.Duration
+		var seqShortcuts int
+		for vi, prm := range variants {
+			sets := traffic.SiloWeights(w0, h.cfg.Silos, h.cfg.Level, h.cfg.Seed+spec.Seed)
+			f, err := fed.New(g, w0, sets, mpc.Params{Mode: h.cfg.Mode, Seed: h.cfg.Seed, Net: h.cfg.Net})
+			if err != nil {
+				return nil, err
+			}
+			x, err := ch.BuildWith(f, prm)
+			if err != nil {
+				return nil, fmt.Errorf("expr: build bench %s workers=%d: %w", name, prm.Workers, err)
+			}
+			st := x.BuildStatistics()
+			row := BuildBenchRow{
+				Dataset:           name,
+				Vertices:          g.NumVertices(),
+				Arcs:              g.NumArcs(),
+				Workers:           st.Workers,
+				Batched:           !prm.NoBatch,
+				WallMs:            float64(st.WallTime.Microseconds()) / 1e3,
+				OrderingMs:        float64(st.OrderingTime.Microseconds()) / 1e3,
+				ContractionMs:     float64(st.ContractionTime.Microseconds()) / 1e3,
+				Shortcuts:         st.Shortcuts,
+				Compares:          st.SAC.Compares,
+				MPCRounds:         st.SAC.Rounds,
+				RoundsSaved:       st.RoundsSaved,
+				ContractionRounds: st.Rounds,
+				AvgParallelism:    st.AvgRoundWidth,
+			}
+			switch vi {
+			case 1: // the sequential batched baseline
+				seqWall, seqShortcuts = st.WallTime, st.Shortcuts
+				row.SpeedupVsSeq = 1.0
+			case 2:
+				if st.Shortcuts != seqShortcuts {
+					return nil, fmt.Errorf("expr: build bench %s: parallel build produced %d shortcuts, sequential %d",
+						name, st.Shortcuts, seqShortcuts)
+				}
+				if st.WallTime > 0 {
+					row.SpeedupVsSeq = float64(seqWall) / float64(st.WallTime)
+				}
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// PrintIndexBuildBench renders the Table II-style construction comparison.
+func (h *Harness) PrintIndexBuildBench(rep *BuildBenchReport) {
+	h.printf("Index construction: sequential vs parallel (%d silos, GOMAXPROCS=%d)\n",
+		rep.Silos, runtime.GOMAXPROCS(0))
+	w := h.tab()
+	fmt.Fprintln(w, "dataset\tworkers\tbatched\twall\tordering\tcontraction\tshortcuts\tFed-SACs\tMPC rounds\trounds saved\tavg ∥\tspeedup")
+	for _, r := range rep.Rows {
+		speed := "-"
+		if r.SpeedupVsSeq > 0 {
+			speed = fmt.Sprintf("%.2fx", r.SpeedupVsSeq)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%v\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%.1f\t%s\n",
+			r.Dataset, r.Workers, r.Batched,
+			fmtDuration(time.Duration(r.WallMs*1e6)),
+			fmtDuration(time.Duration(r.OrderingMs*1e6)),
+			fmtDuration(time.Duration(r.ContractionMs*1e6)),
+			r.Shortcuts, r.Compares, r.MPCRounds, r.RoundsSaved, r.AvgParallelism, speed)
+	}
+	w.Flush()
+	h.printf("\n")
+}

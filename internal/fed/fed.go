@@ -141,6 +141,18 @@ func (f *Federation) ArcPartial(a graph.Arc) Partial {
 	return v
 }
 
+// SnapshotWeights deep-copies every silo's private weight set. Callers that
+// compute off-lock against a consistent view of the federation (landmark
+// precomputation, index construction) snapshot under their read lock and
+// work on the copy.
+func (f *Federation) SnapshotWeights() []graph.Weights {
+	sets := make([]graph.Weights, len(f.silos))
+	for p, s := range f.silos {
+		sets[p] = append(graph.Weights(nil), s.w...)
+	}
+	return sets
+}
+
 // JointWeights materializes the WJRN weight set (scaled by P). This is an
 // evaluation-only helper: in a real deployment no party may compute it. The
 // test suite uses it as ground truth.

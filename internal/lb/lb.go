@@ -17,6 +17,8 @@ package lb
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/fed"
 	"repro/internal/graph"
@@ -95,19 +97,36 @@ func SelectLandmarks(g *graph.Graph, w0 graph.Weights, k int, seed uint64) []gra
 // (identical outputs; the equivalence is asserted by the core package's
 // tests) and derives each silo's partial cost along the joint tree, exactly
 // as the paper's pre-processing records φ_p(ρ*).
+//
+// It reads the silos' live weight sets, so the caller must hold whatever
+// lock guards them for the whole call. For precomputing without blocking
+// traffic updates, snapshot the weights first and use Precompute.
 func PrecomputeLandmarks(f *fed.Federation, landmarks []graph.Vertex) *Landmarks {
-	g := f.Graph()
+	sets := make([]graph.Weights, f.P())
+	for p := range sets {
+		sets[p] = f.Silo(p).Weights()
+	}
+	return Precompute(f.Graph(), f.StaticWeights(), sets, landmarks, 1)
+}
+
+// Precompute builds the landmark matrices from an explicit weight snapshot
+// (siloWeights[p] is silo p's weight set), independent of any live
+// federation state. Landmarks are independent of each other — per-silo local
+// Dijkstras plus a tree walk — so with workers > 1 they are computed in
+// parallel (workers ≤ 0 means one worker per landmark). The result is
+// identical for every worker count.
+func Precompute(g *graph.Graph, w0 graph.Weights, siloWeights []graph.Weights, landmarks []graph.Vertex, workers int) *Landmarks {
 	n := g.NumVertices()
-	p := f.P()
+	p := len(siloWeights)
 	lm := &Landmarks{L: landmarks}
-	joint := f.JointWeights() // ideal functionality of the collaborative SSSP
+	joint := graph.JointWeights(siloWeights) // ideal functionality of the collaborative SSSP
 	lm.Phi0 = make([][]int64, len(landmarks))
 	lm.Phi = make([][][]int64, p)
 	for s := 0; s < p; s++ {
 		lm.Phi[s] = make([][]int64, len(landmarks))
 	}
-	for li, l := range landmarks {
-		lm.Phi0[li] = graph.DijkstraBackward(g, f.StaticWeights(), l).Dist
+	one := func(li int, l graph.Vertex) {
+		lm.Phi0[li] = graph.DijkstraBackward(g, w0, l).Dist
 		res := graph.DijkstraBackward(g, joint, l)
 		// Partial costs along the joint tree: process vertices in order of
 		// increasing joint distance so successors are resolved first.
@@ -130,13 +149,40 @@ func PrecomputeLandmarks(f *fed.Federation, landmarks []graph.Vertex) *Landmarks
 			}
 			succ, arc := res.Parent[v], res.PArc[v]
 			for s := 0; s < p; s++ {
-				parts[s][v] = parts[s][succ] + f.Silo(s).Weight(arc)
+				parts[s][v] = parts[s][succ] + siloWeights[s][arc]
 			}
 		}
 		for s := 0; s < p; s++ {
 			lm.Phi[s][li] = parts[s]
 		}
 	}
+	if workers <= 0 || workers > len(landmarks) {
+		workers = len(landmarks)
+	}
+	if workers <= 1 {
+		for li, l := range landmarks {
+			one(li, l)
+		}
+		return lm
+	}
+	// Each landmark writes only its own Phi0[li] / Phi[s][li] rows, so the
+	// fan-out is race-free by construction.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				li := int(next.Add(1)) - 1
+				if li >= len(landmarks) {
+					return
+				}
+				one(li, landmarks[li])
+			}
+		}()
+	}
+	wg.Wait()
 	return lm
 }
 

@@ -239,24 +239,29 @@ func (e *Engine) simNetFor(totalBytes int64) time.Duration {
 }
 
 // batchCostFor returns (calibrating on first use) the wire cost of a k-batch.
-// The cache is shared across the engine's fork family; concurrent forks that
-// both miss calibrate independently and store identical values.
+// The cache is shared across the engine's fork family with single-flight
+// admission: concurrent forks missing on the same size elect one leader to
+// calibrate while the others wait for its result.
 func (e *Engine) batchCostFor(k int) (batchCost, error) {
-	if c, ok := e.calib.get(k); ok {
+	c, ok, _ := e.calib.begin(k)
+	if ok {
 		return c, nil
 	}
+	// This engine is the calibration leader for size k.
 	// Calibration: run one protocol-mode batch of size k on zero inputs.
 	zero := make([][]int64, k)
 	for i := range zero {
 		zero[i] = make([]int64, e.n)
 	}
 	if _, err := e.runBatchProtocol(zero); err != nil {
-		return batchCost{}, fmt.Errorf("mpc: batch calibration (k=%d): %w", k, err)
+		err = fmt.Errorf("mpc: batch calibration (k=%d): %w", k, err)
+		e.calib.finish(k, batchCost{}, err)
+		return batchCost{}, err
 	}
 	st := e.mem.Stats()
-	c := batchCost{bytes: st.Bytes, msgs: st.Messages}
+	c = batchCost{bytes: st.Bytes, msgs: st.Messages}
 	e.mem.ResetStats()
-	e.calib.put(k, c)
+	e.calib.finish(k, c, nil)
 	return c, nil
 }
 

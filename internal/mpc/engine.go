@@ -220,23 +220,51 @@ type Engine struct {
 	calib *batchCalib
 }
 
-// batchCalib is the fork-shared cache of per-batch-size calibrated costs.
+// batchCalib is the fork-shared cache of per-batch-size calibrated costs,
+// with single-flight admission: when several forks miss on the same batch
+// size at once (the parallel index builder does exactly this), one becomes
+// the calibration leader and the rest wait for its result instead of each
+// paying a protocol-mode run.
 type batchCalib struct {
-	mu    sync.Mutex
-	costs map[int]batchCost
+	mu      sync.Mutex
+	costs   map[int]batchCost
+	pending map[int]chan struct{}
 }
 
-func (c *batchCalib) get(k int) (batchCost, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cost, ok := c.costs[k]
-	return cost, ok
+// begin either returns the cached cost (leader=false, ok=true), elects the
+// caller as calibration leader for k (leader=true), or blocks until the
+// current leader finishes and then retries.
+func (c *batchCalib) begin(k int) (cost batchCost, ok, leader bool) {
+	for {
+		c.mu.Lock()
+		if cost, ok := c.costs[k]; ok {
+			c.mu.Unlock()
+			return cost, true, false
+		}
+		if wait, inflight := c.pending[k]; inflight {
+			c.mu.Unlock()
+			<-wait
+			continue // leader stored a result or failed; re-examine
+		}
+		if c.pending == nil {
+			c.pending = make(map[int]chan struct{})
+		}
+		c.pending[k] = make(chan struct{})
+		c.mu.Unlock()
+		return batchCost{}, false, true
+	}
 }
 
-func (c *batchCalib) put(k int, cost batchCost) {
+// finish publishes the leader'"'"'s result (on success) and releases waiters.
+func (c *batchCalib) finish(k int, cost batchCost, err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.costs[k] = cost
+	wait := c.pending[k]
+	delete(c.pending, k)
+	if err == nil {
+		c.costs[k] = cost
+	}
+	c.mu.Unlock()
+	close(wait)
 }
 
 // NewEngine creates an engine. It runs one calibration comparison in

@@ -1,0 +1,231 @@
+package fedroad
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The differential oracle harness: every federated engine configuration must
+// return the same joint cost as plaintext Dijkstra on the summed joint
+// weights. The oracle sees all private weights at once — exactly what the
+// protocols must never leak — so agreement with it is the end-to-end
+// correctness statement for the whole stack (Fed-SAC, estimators, queues,
+// batching, the shortcut index, and the parallel index build).
+
+// oracleConfig is one point of the engine configuration lattice.
+type oracleConfig struct {
+	name string
+	opt  QueryOptions
+}
+
+// spspConfigs enumerates every valid SPSP configuration: {index, no index} ×
+// {no estimator, FedALT, FedALTMax, FedAMPS} × {heap, TM-tree} ×
+// {unbatched, BatchedMPC} — minus the combinations validateOptions rejects
+// (BatchedMPC requires the TM-tree).
+func spspConfigs() []oracleConfig {
+	var out []oracleConfig
+	for _, noIndex := range []bool{false, true} {
+		for _, est := range []Estimator{NoEstimator, FedALT, FedALTMax, FedAMPS} {
+			for _, qb := range []struct {
+				q QueueKind
+				b bool
+			}{{Heap, false}, {TMTree, false}, {TMTree, true}} {
+				out = append(out, oracleConfig{
+					name: fmt.Sprintf("noindex=%v/est=%s/queue=%s/batched=%v", noIndex, est, qb.q, qb.b),
+					opt:  QueryOptions{Estimator: est, Queue: qb.q, NoIndex: noIndex, BatchedMPC: qb.b},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// knnConfigs enumerates every valid kNN configuration (estimators do not
+// apply and the search is index-free by construction).
+func knnConfigs() []oracleConfig {
+	return []oracleConfig{
+		{"queue=heap", QueryOptions{Queue: Heap}},
+		{"queue=tm-tree", QueryOptions{Queue: TMTree}},
+		{"queue=tm-tree/batched", QueryOptions{Queue: TMTree, BatchedMPC: true}},
+	}
+}
+
+// checkAgainstOracle runs every federated configuration of the SPSP, SSSP
+// and kNN paths against plaintext Dijkstra on the joint weights. The
+// federation must already have its index built; landmark matrices are
+// (re)computed here so they match the current weights.
+func checkAgainstOracle(t *testing.T, f *Federation, joint Weights, queries [][2]Vertex) {
+	t.Helper()
+	g := f.Graph()
+	f.PrecomputeLandmarks()
+
+	for _, q := range queries {
+		s, dst := q[0], q[1]
+		want, _ := graph.DijkstraTo(g, joint, s, dst)
+		for _, cfg := range spspConfigs() {
+			route, _, err := f.ShortestPath(s, dst, cfg.opt)
+			if err != nil {
+				t.Fatalf("%s: ShortestPath(%d,%d): %v", cfg.name, s, dst, err)
+			}
+			if want >= graph.InfCost {
+				if route.Found {
+					t.Fatalf("%s: ShortestPath(%d,%d) found a route, oracle says unreachable", cfg.name, s, dst)
+				}
+				continue
+			}
+			if !route.Found {
+				t.Fatalf("%s: ShortestPath(%d,%d) found nothing, oracle cost %d", cfg.name, s, dst, want)
+			}
+			if got := JointCost(route); got != want {
+				t.Fatalf("%s: ShortestPath(%d,%d) joint cost %d, oracle %d", cfg.name, s, dst, got, want)
+			}
+			checkPathShape(t, g, route, s, dst, cfg.name)
+		}
+	}
+
+	// kNN (the Fed-SSSP path): the k nearest joint distances must match the
+	// oracle's k smallest, tie-safely — WHICH equal-cost vertex is k-th may
+	// differ, the distance multiset may not.
+	for _, q := range queries {
+		s := q[0]
+		res := graph.Dijkstra(g, joint, s)
+		var oracleDists []int64
+		for v := 0; v < g.NumVertices(); v++ {
+			if res.Dist[v] < graph.InfCost {
+				oracleDists = append(oracleDists, res.Dist[v])
+			}
+		}
+		sort.Slice(oracleDists, func(i, j int) bool { return oracleDists[i] < oracleDists[j] })
+		for _, k := range []int{1, 5, len(oracleDists)} { // k = all reachable ⇒ full SSSP
+			if k > len(oracleDists) {
+				continue
+			}
+			for _, cfg := range knnConfigs() {
+				routes, _, err := f.NearestNeighbors(s, k, cfg.opt)
+				if err != nil {
+					t.Fatalf("kNN %s: NearestNeighbors(%d,%d): %v", cfg.name, s, k, err)
+				}
+				if len(routes) != k {
+					t.Fatalf("kNN %s: got %d routes, want %d", cfg.name, len(routes), k)
+				}
+				prev := int64(-1)
+				for i, r := range routes {
+					c := JointCost(r)
+					if c < prev {
+						t.Fatalf("kNN %s: results not sorted: cost %d after %d", cfg.name, c, prev)
+					}
+					prev = c
+					if len(r.Path) == 0 {
+						t.Fatalf("kNN %s: route %d has empty path", cfg.name, i)
+					}
+					end := r.Path[len(r.Path)-1]
+					if res.Dist[end] != c {
+						t.Fatalf("kNN %s: route to %d costs %d, oracle distance %d", cfg.name, end, c, res.Dist[end])
+					}
+					if c != oracleDists[i] {
+						t.Fatalf("kNN %s: %d-th nearest costs %d, oracle's %d-th smallest is %d",
+							cfg.name, i, c, i, oracleDists[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkPathShape verifies the returned vertex sequence is a real s→t walk in
+// the topology.
+func checkPathShape(t *testing.T, g *Graph, route Route, s, dst Vertex, name string) {
+	t.Helper()
+	if len(route.Path) == 0 || route.Path[0] != s || route.Path[len(route.Path)-1] != dst {
+		t.Fatalf("%s: path %v does not run %d→%d", name, route.Path, s, dst)
+	}
+	for i := 0; i+1 < len(route.Path); i++ {
+		if g.FindArc(route.Path[i], route.Path[i+1]) == graph.NoArc {
+			t.Fatalf("%s: path hop %d→%d is not an arc", name, route.Path[i], route.Path[i+1])
+		}
+	}
+}
+
+// oracleFederation assembles a federation over the given topology with
+// congestion-simulated silo weights, builds its index (parallel build), and
+// returns the plaintext joint weight oracle.
+func oracleFederation(t *testing.T, g *Graph, w0 Weights, seed uint64) (*Federation, Weights) {
+	t.Helper()
+	silos := SimulateCongestion(w0, 3, Moderate, seed)
+	f, err := New(g, w0, silos, Config{Seed: seed, Landmarks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	joint := graph.JointWeights(silos)
+	return f, joint
+}
+
+// oracleQueries picks deterministic query endpoints, including the
+// degenerate s == t pair.
+func oracleQueries(g *Graph, seed uint64, count int) [][2]Vertex {
+	rng := rand.New(rand.NewPCG(seed, 0xfeed))
+	n := g.NumVertices()
+	qs := [][2]Vertex{{Vertex(int(seed) % n), Vertex(int(seed) % n)}} // s == t
+	for len(qs) < count {
+		qs = append(qs, [2]Vertex{Vertex(rng.IntN(n)), Vertex(rng.IntN(n))})
+	}
+	return qs
+}
+
+// TestOracleRoadNetwork drives the full configuration lattice on randomized
+// road-like networks across seeds.
+func TestOracleRoadNetwork(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			g, w0 := GenerateRoadNetwork(160, seed)
+			f, joint := oracleFederation(t, g, w0, seed+100)
+			checkAgainstOracle(t, f, joint, oracleQueries(g, seed, 4))
+		})
+	}
+}
+
+// TestOracleGridNetwork drives the same lattice on Manhattan-style grids.
+func TestOracleGridNetwork(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			g, w0 := GenerateGridNetwork(6, 7, seed)
+			f, joint := oracleFederation(t, g, w0, seed+200)
+			checkAgainstOracle(t, f, joint, oracleQueries(g, seed, 4))
+		})
+	}
+}
+
+// TestOracleAfterTrafficUpdate re-checks the lattice after dynamic traffic
+// updates refresh the index — the dynamic-update path must stay
+// oracle-correct, not just fresh builds.
+func TestOracleAfterTrafficUpdate(t *testing.T) {
+	g, w0 := GenerateRoadNetwork(140, 77)
+	f, _ := oracleFederation(t, g, w0, 78)
+	rng := rand.New(rand.NewPCG(79, 0xbeef))
+	var ups []TrafficUpdate
+	for i := 0; i < 25; i++ {
+		ups = append(ups, TrafficUpdate{
+			Silo:     rng.IntN(f.Silos()),
+			Arc:      Arc(rng.IntN(g.NumArcs())),
+			TravelMs: int64(1 + rng.IntN(int(MaxTravelMs-2))),
+		})
+	}
+	if _, err := f.ApplyTraffic(ups); err != nil {
+		t.Fatal(err)
+	}
+	joint := make(Weights, g.NumArcs())
+	for p := 0; p < f.Silos(); p++ {
+		// Rebuild the oracle from the live silo weights (post-update).
+		for a := 0; a < g.NumArcs(); a++ {
+			joint[a] += f.inner.Silo(p).Weight(Arc(a))
+		}
+	}
+	checkAgainstOracle(t, f, joint, oracleQueries(g, 80, 3))
+}

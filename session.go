@@ -16,8 +16,10 @@ import (
 // transport lanes, dealer randomness stream and cost counters — is owned by
 // the session, forked from the federation's root engine. Queries on
 // distinct sessions therefore run fully in parallel; the federation's
-// reader/writer lock only serializes them against traffic updates and index
-// (re)builds.
+// reader/writer lock only serializes them against traffic updates and the
+// brief index/landmark swap at the end of an off-lock rebuild (the heavy
+// construction work runs without the lock, so queries keep flowing during
+// it — see Federation.BuildIndexWith).
 //
 // A Session issues one query at a time (it is not itself safe for
 // concurrent use); open one session per worker goroutine.
