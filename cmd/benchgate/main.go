@@ -1,0 +1,177 @@
+// Command benchgate compares a freshly generated index-build benchmark
+// report (BENCH_build.json format) against a committed baseline and fails on
+// performance regressions. It is the CI gate behind the word-packed Fed-SAC
+// rounds: the deterministic counters — mpc_rounds above all — must never
+// creep back up unnoticed.
+//
+// Gates, per (dataset, workers, batched) row:
+//
+//   - mpc_rounds: hard gate. The counter is a deterministic function of the
+//     build, independent of the runner, so the tolerance (default +10%)
+//     exists only to absorb intentional small drifts; any regression beyond
+//     it fails the run.
+//   - time_ms (modeled end-to-end: wall + simulated network): reported, but
+//     advisory by default (shared CI runners are too noisy for a hard time
+//     gate). Set -wall-tolerance > 0 to enforce one.
+//   - within the current report, the batched workers=1 row must not spend
+//     more MPC rounds than the unbatched row of the same dataset — the
+//     "batching can never regress" invariant, checked against the same run
+//     rather than the baseline.
+//
+// The comparison table is printed to stdout and, when the
+// GITHUB_STEP_SUMMARY environment variable is set, appended there as
+// markdown so the gate's verdict shows up on the workflow summary page.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+type rowKey struct {
+	dataset string
+	workers int
+	batched bool
+}
+
+func load(path string) (map[rowKey]expr.BuildBenchRow, []rowKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep expr.BuildBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	rows := make(map[rowKey]expr.BuildBenchRow, len(rep.Rows))
+	var order []rowKey
+	for _, r := range rep.Rows {
+		k := rowKey{r.Dataset, r.Workers, r.Batched}
+		if _, dup := rows[k]; dup {
+			return nil, nil, fmt.Errorf("%s: duplicate row %+v", path, k)
+		}
+		rows[k] = r
+		order = append(order, k)
+	}
+	return rows, order, nil
+}
+
+func main() {
+	var (
+		basePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+		curPath  = flag.String("current", "BENCH_build.json", "freshly generated report")
+		tol      = flag.Float64("tolerance", 0.10, "allowed fractional mpc_rounds growth over baseline")
+		wallTol  = flag.Float64("wall-tolerance", 0, "allowed fractional wall-time growth (0 = advisory only)")
+	)
+	flag.Parse()
+
+	base, order, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	cur, _, err := load(*curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+
+	var b strings.Builder
+	b.WriteString("## benchgate: index-build perf vs baseline\n\n")
+	fmt.Fprintf(&b, "baseline `%s` vs current `%s`, mpc_rounds tolerance +%.0f%%\n\n",
+		*basePath, *curPath, *tol*100)
+	b.WriteString("| dataset | workers | batched | mpc_rounds (base → cur) | Δ | time ms (base → cur) | Δ | verdict |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+
+	var failures []string
+	for _, k := range order {
+		br := base[k]
+		cr, ok := cur[k]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("row %s/workers=%d/batched=%v missing from current report", k.dataset, k.workers, k.batched))
+			fmt.Fprintf(&b, "| %s | %d | %v | %d → (missing) | — | %.1f → — | — | ❌ missing |\n",
+				k.dataset, k.workers, k.batched, br.MPCRounds, br.TimeMs)
+			continue
+		}
+		roundsDelta := ratioDelta(float64(cr.MPCRounds), float64(br.MPCRounds))
+		wallDelta := ratioDelta(cr.TimeMs, br.TimeMs)
+		verdict := "✅"
+		if float64(cr.MPCRounds) > float64(br.MPCRounds)*(1+*tol) {
+			verdict = "❌ mpc_rounds regression"
+			failures = append(failures, fmt.Sprintf("%s/workers=%d/batched=%v: mpc_rounds %d → %d (%+.1f%%, tolerance +%.0f%%)",
+				k.dataset, k.workers, k.batched, br.MPCRounds, cr.MPCRounds, roundsDelta, *tol*100))
+		}
+		if *wallTol > 0 && cr.TimeMs > br.TimeMs*(1+*wallTol) {
+			verdict = "❌ wall regression"
+			failures = append(failures, fmt.Sprintf("%s/workers=%d/batched=%v: wall %.1fms → %.1fms (%+.1f%%, tolerance +%.0f%%)",
+				k.dataset, k.workers, k.batched, br.TimeMs, cr.TimeMs, wallDelta, *wallTol*100))
+		}
+		fmt.Fprintf(&b, "| %s | %d | %v | %d → %d | %+.1f%% | %.1f → %.1f | %+.1f%% | %s |\n",
+			k.dataset, k.workers, k.batched, br.MPCRounds, cr.MPCRounds, roundsDelta,
+			br.TimeMs, cr.TimeMs, wallDelta, verdict)
+	}
+
+	// Same-run invariant: batching must never cost MPC rounds. Compared
+	// within the current report so runner speed cannot mask or fake it.
+	b.WriteString("\n### batching invariant (current run)\n\n")
+	for _, k := range order {
+		if k.workers != 1 || k.batched {
+			continue
+		}
+		unb, ok1 := cur[k]
+		bat, ok2 := cur[rowKey{k.dataset, 1, true}]
+		if !ok1 || !ok2 {
+			continue
+		}
+		if bat.MPCRounds > unb.MPCRounds {
+			failures = append(failures, fmt.Sprintf("%s: batched build spends %d MPC rounds, unbatched %d — batching regressed",
+				k.dataset, bat.MPCRounds, unb.MPCRounds))
+			fmt.Fprintf(&b, "- ❌ %s: batched %d rounds > unbatched %d rounds\n", k.dataset, bat.MPCRounds, unb.MPCRounds)
+		} else {
+			fmt.Fprintf(&b, "- ✅ %s: batched %d rounds ≤ unbatched %d rounds (%.1fx fewer)\n",
+				k.dataset, bat.MPCRounds, unb.MPCRounds, safeRatio(float64(unb.MPCRounds), float64(bat.MPCRounds)))
+		}
+		if bat.TimeMs > unb.TimeMs {
+			fmt.Fprintf(&b, "- ⚠️ %s: batched time %.1fms > unbatched %.1fms (advisory)\n", k.dataset, bat.TimeMs, unb.TimeMs)
+		}
+	}
+
+	if len(failures) == 0 {
+		b.WriteString("\n**PASS** — no regressions.\n")
+	} else {
+		b.WriteString("\n**FAIL**\n\n")
+		for _, f := range failures {
+			fmt.Fprintf(&b, "- %s\n", f)
+		}
+	}
+
+	fmt.Print(b.String())
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		if f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+			f.WriteString(b.String())
+			f.Close()
+		}
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+func ratioDelta(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur/base - 1) * 100
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

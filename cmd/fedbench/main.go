@@ -19,12 +19,18 @@
 // -json flag also works with fig7/fig8, which run the same sweep. With
 // -index, bench instead measures index construction (sequential vs parallel
 // contraction, batched vs per-pair Fed-SAC) and writes BENCH_build.json.
+//
+// -profile <prefix> wraps any experiment in a CPU profile and a final heap
+// snapshot (<prefix>.cpu.pprof, <prefix>.heap.pprof) — the mode used to hunt
+// per-round allocation and serialization overhead in the MPC hot path.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -48,6 +54,7 @@ func main() {
 		bandwidth = flag.Float64("bandwidth", 1e9, "modeled bandwidth in bytes/s")
 		jsonOut   = flag.String("json", "", "write a machine-readable BENCH_*.json report (bench, fig7, fig8)")
 		index     = flag.Bool("index", false, "with bench: benchmark index construction (sequential vs parallel) instead of the query sweep")
+		profile   = flag.String("profile", "", "write CPU and heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -87,6 +94,37 @@ func main() {
 		MaxVertices:     *maxV,
 		Out:             os.Stdout,
 	})
+
+	// -profile wraps the whole experiment in a CPU profile and snapshots the
+	// heap at the end; stopProfile is called on every exit path (os.Exit
+	// skips defers).
+	stopProfile := func() {}
+	if *profile != "" {
+		cf, err := os.Create(*profile + ".cpu.pprof")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+			hf, err := os.Create(*profile + ".heap.pprof")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(hf); err != nil {
+				fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+			}
+			hf.Close()
+			fmt.Printf("wrote %s.cpu.pprof and %s.heap.pprof\n", *profile, *profile)
+		}
+	}
 
 	start := time.Now()
 	var err error
@@ -196,6 +234,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
+	stopProfile()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
 		os.Exit(1)

@@ -8,7 +8,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -62,8 +61,7 @@ func main() {
 				log.Fatalf("silo %d: %v", p, err)
 			}
 			defer conn.Close()
-			rng := rand.New(rand.NewPCG(uint64(p)+1000, uint64(p)))
-			less, err := mpc.RunCompareParty(conn, rng, costA[p]-costB[p], &tuples[p])
+			less, err := mpc.RunCompareParty(conn, costA[p]-costB[p], &tuples[p])
 			if err != nil {
 				log.Fatalf("silo %d: %v", p, err)
 			}

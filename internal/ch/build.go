@@ -32,6 +32,12 @@ type hierarchyState struct {
 	parents  map[int32][]int32        // child overlay arc -> shortcuts built on it
 }
 
+// DefaultWitnessHops bounds the frontier depth of the federated witness
+// search: a witness path may use at most this many arcs. Deeper searches
+// find more witnesses (fewer shortcuts) but pay more wide Fed-SAC rounds
+// per contraction.
+const DefaultWitnessHops = 8
+
 // Params tunes index construction. The zero value gives the paper's setup:
 // edge-difference ordering, the default witness-search cap, one contraction
 // worker per CPU and batched Fed-SAC decisions.
@@ -39,9 +45,13 @@ type Params struct {
 	// Ordering selects the public importance heuristic (default
 	// OrderEdgeDiff).
 	Ordering Ordering
-	// WitnessCap bounds witness-search settles (default DefaultWitnessCap).
-	// Smaller caps build faster but add more conservative shortcuts.
+	// WitnessCap bounds witness-search frontier expansions per source
+	// (default DefaultWitnessCap). Smaller caps build faster but add more
+	// conservative shortcuts.
 	WitnessCap int
+	// WitnessHops bounds the arc count of witness paths (default
+	// DefaultWitnessHops).
+	WitnessHops int
 	// Workers sets the contraction worker pool for the independent-set
 	// rounds (0 = GOMAXPROCS, 1 = sequential). The built index is
 	// byte-identical for every worker count; Workers trades wall time only.
@@ -110,6 +120,9 @@ func NewBuilder(f *fed.Federation, prm Params) (*Builder, error) {
 	if prm.WitnessCap == 0 {
 		prm.WitnessCap = DefaultWitnessCap
 	}
+	if prm.WitnessHops == 0 {
+		prm.WitnessHops = DefaultWitnessHops
+	}
 	g := f.Graph()
 	n := g.NumVertices()
 	p := f.P()
@@ -121,11 +134,12 @@ func NewBuilder(f *fed.Federation, prm Params) (*Builder, error) {
 	}
 
 	x := &Index{
-		f:          f,
-		rank:       make([]int32, n),
-		numBase:    g.NumArcs(),
-		witnessCap: prm.WitnessCap,
-		noBatch:    prm.NoBatch,
+		f:           f,
+		rank:        make([]int32, n),
+		numBase:     g.NumArcs(),
+		witnessCap:  prm.WitnessCap,
+		witnessHops: prm.WitnessHops,
+		noBatch:     prm.NoBatch,
 	}
 	for v := range x.rank {
 		x.rank[v] = -1
@@ -375,16 +389,37 @@ func (x *Index) propose(sac *fed.SAC, v graph.Vertex, el eligibility) *proposal 
 		return prop
 	}
 
+	// All witness searches of this contraction — one per minimal in-neighbor
+	// with at least one target — run as one lane-synchronous frontier sweep,
+	// so every hop costs a handful of wide Fed-SAC rounds for the whole
+	// neighborhood instead of a round per heap operation per source.
+	srcs := make([]graph.Vertex, 0, len(minIn))
+	srcOf := make([]int, len(minIn)) // minIn index -> search index, -1 if none
+	for ui, gu := range minIn {
+		srcOf[ui] = -1
+		for _, gw := range minOut {
+			if gw.other != gu.other {
+				srcOf[ui] = len(srcs)
+				srcs = append(srcs, gu.other)
+				break
+			}
+		}
+	}
+	wit := x.witnessSearchAll(sac, srcs, v, el)
+
 	type candidate struct {
 		u, w         graph.Vertex
 		arcUV, arcVW int32
-		via, wit     fed.Partial // wit nil when no witness settled
+		via, wit     fed.Partial // wit nil when no witness path was found
 		witArcs      []int32
 	}
 	var cands []candidate
-	for _, gu := range minIn {
+	for ui, gu := range minIn {
+		if srcOf[ui] < 0 {
+			continue
+		}
 		u, arcUV := gu.other, gu.arcs[0]
-		targets := make(map[graph.Vertex]fed.Partial, len(minOut))
+		labels := wit[srcOf[ui]]
 		for _, gw := range minOut {
 			if gw.other == u {
 				continue
@@ -393,44 +428,25 @@ func (x *Index) propose(sac *fed.SAC, v graph.Vertex, el eligibility) *proposal 
 			for s := 0; s < p; s++ {
 				via[s] = x.siloW[s][arcUV] + x.siloW[s][gw.arcs[0]]
 			}
-			targets[gw.other] = via
-		}
-		if len(targets) == 0 {
-			continue
-		}
-		dists, witArcs := x.witnessSearch(sac, u, v, targets, el)
-		for _, gw := range minOut {
-			via, ok := targets[gw.other]
-			if !ok {
-				continue
-			}
 			c := candidate{u: u, w: gw.other, arcUV: arcUV, arcVW: gw.arcs[0], via: via}
-			if d, ok := dists[gw.other]; ok {
-				c.wit, c.witArcs = d, witArcs[gw.other]
+			if lbl := labels[gw.other]; lbl != nil {
+				c.wit, c.witArcs = lbl.part, witPath(labels, gw.other)
 			}
 			cands = append(cands, c)
 		}
 	}
 
 	skip := make([]bool, len(cands))
-	if x.noBatch {
-		for i, c := range cands {
-			if c.wit != nil {
-				skip[i] = sac.Less(c.wit, c.via)
-			}
+	var pairs [][2]fed.Partial
+	var refs []int
+	for i, c := range cands {
+		if c.wit != nil {
+			pairs = append(pairs, [2]fed.Partial{c.wit, c.via})
+			refs = append(refs, i)
 		}
-	} else {
-		var pairs [][2]fed.Partial
-		var refs []int
-		for i, c := range cands {
-			if c.wit != nil {
-				pairs = append(pairs, [2]fed.Partial{c.wit, c.via})
-				refs = append(refs, i)
-			}
-		}
-		for j, less := range sac.LessBatch(pairs) {
-			skip[refs[j]] = less
-		}
+	}
+	for j, less := range x.lessAll(sac, pairs) {
+		skip[refs[j]] = less
 	}
 
 	existing := make(map[[2]graph.Vertex]int32, len(x.hs.viaIndex[v]))
@@ -518,58 +534,96 @@ func (x *Index) minArcGroups(arcs []int32, incoming bool, v graph.Vertex, el eli
 	return groups
 }
 
-// reduceMinArcs reduces every group to its joint-minimum arc by a tournament
-// whose per-level matches — independent across pairs and groups — run in one
-// batched Fed-SAC instance per level. A later arc wins its match only when
-// strictly smaller, so each group's winner is its earliest joint minimum,
-// exactly the arc a sequential left-to-right fold selects.
-func (x *Index) reduceMinArcs(sac *fed.SAC, groups []neighborGroup) {
+// lessAll answers one round of independent strict-less questions: a single
+// CompareBatch-backed Fed-SAC instance when batching is on, or the same
+// comparisons one by one — in the same order — under noBatch. The two modes
+// make identical decisions, so builds stay byte-identical across them.
+func (x *Index) lessAll(sac *fed.SAC, pairs [][2]fed.Partial) []bool {
+	if !x.noBatch {
+		return sac.LessBatch(pairs)
+	}
+	res := make([]bool, len(pairs))
+	for i, pr := range pairs {
+		res[i] = sac.Less(pr[0], pr[1])
+	}
+	return res
+}
+
+// earliestMinGroups reduces every slate of joint values to the index of its
+// earliest minimum. Matches are level-synchronized tournaments: every pair
+// of every slate at one level resolves through a single lessAll round, and
+// a later entry wins its match only when strictly smaller. Under that rule
+// the bracket winner equals the left-to-right fold minimum regardless of
+// bracket shape — the identity both the min-arc reduction and the
+// lane-synchronous witness search rely on for build determinism.
+func (x *Index) earliestMinGroups(sac *fed.SAC, slates [][]fed.Partial) []int {
+	idx := make([][]int, len(slates))
+	for si, slate := range slates {
+		idx[si] = make([]int, len(slate))
+		for i := range slate {
+			idx[si][i] = i
+		}
+	}
 	for {
 		var pairs [][2]fed.Partial
-		type matchRef struct{ gi, pi int }
+		type matchRef struct{ si, pi int }
 		var refs []matchRef
-		for gi := range groups {
-			as := groups[gi].arcs
-			for pi := 0; pi+1 < len(as); pi += 2 {
-				pairs = append(pairs, [2]fed.Partial{x.Partial(as[pi+1]), x.Partial(as[pi])})
-				refs = append(refs, matchRef{gi, pi})
+		for si := range idx {
+			for pi := 0; pi+1 < len(idx[si]); pi += 2 {
+				pairs = append(pairs, [2]fed.Partial{slates[si][idx[si][pi+1]], slates[si][idx[si][pi]]})
+				refs = append(refs, matchRef{si, pi})
 			}
 		}
 		if len(pairs) == 0 {
-			return
+			break
 		}
-		var res []bool
-		if x.noBatch {
-			res = make([]bool, len(pairs))
-			for i, pr := range pairs {
-				res[i] = sac.Less(pr[0], pr[1])
-			}
-		} else {
-			res = sac.LessBatch(pairs)
-		}
-		next := make([][]int32, len(groups))
-		for gi, g := range groups {
-			if len(g.arcs) > 1 {
-				next[gi] = make([]int32, 0, (len(g.arcs)+1)/2)
+		res := x.lessAll(sac, pairs)
+		next := make([][]int, len(idx))
+		for si := range idx {
+			if len(idx[si]) > 1 {
+				next[si] = make([]int, 0, (len(idx[si])+1)/2)
 			}
 		}
 		for mi, r := range refs {
-			as := groups[r.gi].arcs
-			win := as[r.pi]
+			win := idx[r.si][r.pi]
 			if res[mi] {
-				win = as[r.pi+1]
+				win = idx[r.si][r.pi+1]
 			}
-			next[r.gi] = append(next[r.gi], win)
+			next[r.si] = append(next[r.si], win)
 		}
-		for gi := range groups {
-			if next[gi] == nil {
+		for si := range idx {
+			if next[si] == nil {
 				continue
 			}
-			if len(groups[gi].arcs)%2 == 1 {
-				next[gi] = append(next[gi], groups[gi].arcs[len(groups[gi].arcs)-1])
+			if len(idx[si])%2 == 1 {
+				next[si] = append(next[si], idx[si][len(idx[si])-1])
 			}
-			groups[gi].arcs = next[gi]
+			idx[si] = next[si]
 		}
+	}
+	out := make([]int, len(slates))
+	for si := range idx {
+		if len(idx[si]) > 0 {
+			out[si] = idx[si][0]
+		}
+	}
+	return out
+}
+
+// reduceMinArcs reduces every group to its joint-minimum arc (swapped into
+// arcs[0]) via earliestMinGroups — the per-level matches of all groups run
+// in one batched Fed-SAC instance per level.
+func (x *Index) reduceMinArcs(sac *fed.SAC, groups []neighborGroup) {
+	slates := make([][]fed.Partial, len(groups))
+	for gi, g := range groups {
+		slate := make([]fed.Partial, len(g.arcs))
+		for i, a := range g.arcs {
+			slate[i] = x.Partial(a)
+		}
+		slates[gi] = slate
+	}
+	for gi, win := range x.earliestMinGroups(sac, slates) {
+		groups[gi].arcs[0] = groups[gi].arcs[win]
 	}
 }
 
@@ -594,110 +648,146 @@ func (x *Index) addShortcut(v graph.Vertex, ca, cb int32) int32 {
 	return a
 }
 
-// witItem is one frontier entry of a federated witness search.
-type witItem struct {
-	vtx  graph.Vertex
+// witLabel is the best hop-bounded reach one witness search knows for a
+// vertex, with the parent link that reconstructs the path's arcs.
+type witLabel struct {
 	part fed.Partial
 	par  graph.Vertex
 	parc int32
 }
 
-// witHeap is a binary min-heap over witItems ordered by Fed-SAC.
-type witHeap struct {
-	sac   *fed.SAC
-	items []witItem
+// witSearch is the per-source state of the lane-synchronous witness sweep.
+type witSearch struct {
+	src      graph.Vertex
+	labels   map[graph.Vertex]*witLabel
+	frontier []graph.Vertex
+	budget   int
 }
 
-func (h *witHeap) Len() int { return len(h.items) }
-
-func (h *witHeap) push(it witItem) {
-	h.items = append(h.items, it)
-	i := len(h.items) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !h.sac.Less(h.items[i].part, h.items[p].part) {
+// witnessSearchAll runs all witness searches of one contraction — one per
+// minimal in-neighbor, each over the remaining graph excluding v — as a
+// single hop-bounded, lane-synchronous Bellman-Ford sweep. Per hop, every
+// search expands its whole frontier (in vertex order, spending its
+// witnessCap expansion budget deterministically), and the label tournaments
+// of ALL touched (search, vertex) slots — the existing label plus every new
+// relaxation, in arrival order — resolve together through earliestMinGroups.
+// Each tournament level is therefore one wide Fed-SAC batch for the entire
+// neighborhood, where the old per-source Dijkstra paid a comparison round
+// per heap operation.
+//
+// Correctness does not need the search to be exhaustive: every label is the
+// exact joint cost of a real path from its source (labels only ever
+// decrease, and a label's recorded parent chain always costs no more than
+// the label itself), so a label strictly below a via cost proves a witness
+// exists. Hop and budget truncation only make contraction more conservative
+// (extra shortcuts, never a wrong skip). Results are identical across
+// worker counts, batching and wire layouts: candidate order is
+// deterministic and the earliest-min tournament is bracket-shape
+// independent.
+func (x *Index) witnessSearchAll(sac *fed.SAC, srcs []graph.Vertex, v graph.Vertex, el eligibility) []map[graph.Vertex]*witLabel {
+	searches := make([]*witSearch, len(srcs))
+	for si, u := range srcs {
+		searches[si] = &witSearch{
+			src:      u,
+			labels:   map[graph.Vertex]*witLabel{u: {part: x.f.ZeroPartial(), par: graph.NoVertex, parc: -1}},
+			frontier: []graph.Vertex{u},
+			budget:   x.witnessCap,
+		}
+	}
+	type slotKey struct {
+		si int
+		z  graph.Vertex
+	}
+	type relaxCand struct {
+		part fed.Partial
+		par  graph.Vertex
+		parc int32
+	}
+	for hop := 0; hop < x.witnessHops; hop++ {
+		var keys []slotKey
+		cands := make(map[slotKey][]relaxCand)
+		for si, s := range searches {
+			if len(s.frontier) == 0 {
+				continue
+			}
+			sort.Slice(s.frontier, func(i, j int) bool { return s.frontier[i] < s.frontier[j] })
+			for _, y := range s.frontier {
+				if s.budget <= 0 {
+					break
+				}
+				s.budget--
+				yl := s.labels[y]
+				for _, a := range x.hs.outAll[y] {
+					if !el.arcOK(a) {
+						continue
+					}
+					z := x.head[a]
+					if z == v || z == y || z == s.src || !el.vtxOK(z) {
+						continue
+					}
+					np := make(fed.Partial, len(yl.part))
+					for sl := range np {
+						np[sl] = yl.part[sl] + x.siloW[sl][a]
+					}
+					key := slotKey{si, z}
+					if _, seen := cands[key]; !seen {
+						keys = append(keys, key)
+					}
+					cands[key] = append(cands[key], relaxCand{part: np, par: y, parc: a})
+				}
+			}
+			s.frontier = s.frontier[:0]
+		}
+		if len(keys) == 0 {
 			break
 		}
-		h.items[p], h.items[i] = h.items[i], h.items[p]
-		i = p
+		slates := make([][]fed.Partial, len(keys))
+		for ki, key := range keys {
+			cs := cands[key]
+			slate := make([]fed.Partial, 0, len(cs)+1)
+			if lbl := searches[key.si].labels[key.z]; lbl != nil {
+				slate = append(slate, lbl.part)
+			}
+			for _, c := range cs {
+				slate = append(slate, c.part)
+			}
+			slates[ki] = slate
+		}
+		winners := x.earliestMinGroups(sac, slates)
+		for ki, key := range keys {
+			s := searches[key.si]
+			win := winners[ki]
+			if s.labels[key.z] != nil {
+				if win == 0 {
+					continue // existing label already wins (ties included)
+				}
+				win--
+			}
+			c := cands[key][win]
+			s.labels[key.z] = &witLabel{part: c.part, par: c.par, parc: c.parc}
+			s.frontier = append(s.frontier, key.z)
+		}
 	}
+	out := make([]map[graph.Vertex]*witLabel, len(searches))
+	for si, s := range searches {
+		out[si] = s.labels
+	}
+	return out
 }
 
-func (h *witHeap) pop() witItem {
-	top := h.items[0]
-	n := len(h.items) - 1
-	h.items[0] = h.items[n]
-	h.items = h.items[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		s := i
-		if l < n && h.sac.Less(h.items[l].part, h.items[s].part) {
-			s = l
-		}
-		if r < n && h.sac.Less(h.items[r].part, h.items[s].part) {
-			s = r
-		}
-		if s == i {
+// witPath reconstructs the arcs of the found witness path to w by walking
+// the parent chain. The chain is acyclic with positive joint weights (cost
+// strictly decreases toward the source); the walk is capped defensively
+// regardless.
+func witPath(labels map[graph.Vertex]*witLabel, w graph.Vertex) []int32 {
+	var arcs []int32
+	for y := w; len(arcs) <= len(labels); {
+		lbl := labels[y]
+		if lbl == nil || lbl.par == graph.NoVertex {
 			break
 		}
-		h.items[s], h.items[i] = h.items[i], h.items[s]
-		i = s
+		arcs = append(arcs, lbl.parc)
+		y = lbl.par
 	}
-	return top
-}
-
-// witnessSearch runs a capped federated Dijkstra from u over the remaining
-// graph (excluding v), with every comparison through Fed-SAC. It returns the
-// settled partial distances and, per settled target, the arcs of the found
-// witness path (for skip records).
-func (x *Index) witnessSearch(sac *fed.SAC, u, v graph.Vertex, targets map[graph.Vertex]fed.Partial, el eligibility) (map[graph.Vertex]fed.Partial, map[graph.Vertex][]int32) {
-	h := &witHeap{sac: sac}
-	h.push(witItem{vtx: u, part: x.f.ZeroPartial(), par: graph.NoVertex, parc: -1})
-	settled := make(map[graph.Vertex]fed.Partial)
-	parent := make(map[graph.Vertex]graph.Vertex)
-	parArc := make(map[graph.Vertex]int32)
-	found, settles := 0, 0
-	for h.Len() > 0 && settles < x.witnessCap && found < len(targets) {
-		it := h.pop()
-		if _, done := settled[it.vtx]; done {
-			continue
-		}
-		settled[it.vtx] = it.part
-		parent[it.vtx] = it.par
-		parArc[it.vtx] = it.parc
-		settles++
-		if _, isT := targets[it.vtx]; isT {
-			found++
-		}
-		for _, a := range x.hs.outAll[it.vtx] {
-			if !el.arcOK(a) {
-				continue
-			}
-			z := x.head[a]
-			if z == v || z == it.vtx || !el.vtxOK(z) {
-				continue
-			}
-			if _, done := settled[z]; done {
-				continue
-			}
-			np := make(fed.Partial, len(it.part))
-			for s := range np {
-				np[s] = it.part[s] + x.siloW[s][a]
-			}
-			h.push(witItem{vtx: z, part: np, par: it.vtx, parc: a})
-		}
-	}
-	witArcs := make(map[graph.Vertex][]int32)
-	for w := range targets {
-		if _, ok := settled[w]; !ok {
-			continue
-		}
-		var arcs []int32
-		for y := w; parent[y] != graph.NoVertex; y = parent[y] {
-			arcs = append(arcs, parArc[y])
-		}
-		witArcs[w] = arcs
-	}
-	return settled, witArcs
+	return arcs
 }

@@ -9,10 +9,11 @@
 //  1. a public ordering phase on the static weights W0 (plain text — W0 is
 //     shared, so every silo derives the identical contraction order, the
 //     paper's weight-independent "importance" selection);
-//  2. a federated contraction phase (Alg. 3): witness searches run as
-//     federated Dijkstra with all cost comparisons through Fed-SAC, so the
-//     add-or-skip decision for every potential shortcut is made on *joint*
-//     weights and is identical at every silo.
+//  2. a federated contraction phase (Alg. 3): witness searches run as a
+//     hop-bounded, lane-synchronous frontier sweep with all cost comparisons
+//     through batched Fed-SAC, so the add-or-skip decision for every
+//     potential shortcut is made on *joint* weights and is identical at
+//     every silo.
 //
 // The index also supports the dynamic partial update of Table II: after a
 // subset of edge weights change, affected shortcut weights are recomputed
@@ -53,10 +54,11 @@ type Index struct {
 	upOut  [][]int32
 	downIn [][]int32
 
-	hs         *hierarchyState
-	witnessCap int
-	noBatch    bool // resolve Fed-SAC decisions one-by-one (diagnostics)
-	buildStats BuildStats
+	hs          *hierarchyState
+	witnessCap  int
+	witnessHops int
+	noBatch     bool // resolve Fed-SAC decisions one-by-one (diagnostics)
+	buildStats  BuildStats
 }
 
 // BuildStats reports the construction cost of the index.

@@ -175,15 +175,16 @@ func LoadIndex(f *fed.Federation, public io.Reader, shards []io.Reader) (*Index,
 		return nil, fmt.Errorf("ch: implausible overlay arc count %d for %d vertices", m, n)
 	}
 	x := &Index{
-		f:          f,
-		rank:       make([]int32, n),
-		tail:       make([]graph.Vertex, m),
-		head:       make([]graph.Vertex, m),
-		via:        make([]graph.Vertex, m),
-		childA:     make([]int32, m),
-		childB:     make([]int32, m),
-		numBase:    numBase,
-		witnessCap: DefaultWitnessCap,
+		f:           f,
+		rank:        make([]int32, n),
+		tail:        make([]graph.Vertex, m),
+		head:        make([]graph.Vertex, m),
+		via:         make([]graph.Vertex, m),
+		childA:      make([]int32, m),
+		childB:      make([]int32, m),
+		numBase:     numBase,
+		witnessCap:  DefaultWitnessCap,
+		witnessHops: DefaultWitnessHops,
 	}
 	seenRank := make([]bool, n)
 	for v := 0; v < n; v++ {

@@ -177,6 +177,49 @@ func (e *Engine) SPSP(s, t graph.Vertex) (PathResult, QueryStats, error) {
 			mu, meet = cand, m
 		}
 	}
+	// flushMu folds all crossing candidates of one frontier expansion into μ
+	// at once: an earliest-wins tournament (a later entry beats an earlier
+	// one only when strictly smaller) picks the same winner as the
+	// sequential left-to-right fold, but its per-level matches run as one
+	// batched Fed-SAC instance — a few wide rounds per relax step instead of
+	// a full comparison round per crossing arc.
+	flushMu := func(cands []fed.Partial, meets []meeting) {
+		if !e.opt.BatchedMPC || len(cands) < 2 {
+			for i := range cands {
+				updateMu(cands[i], meets[i])
+			}
+			return
+		}
+		slate, ms := cands, meets
+		if mu != nil {
+			slate = append([]fed.Partial{mu}, cands...)
+			ms = append([]meeting{meet}, meets...)
+		}
+		idx := make([]int, len(slate))
+		for i := range idx {
+			idx[i] = i
+		}
+		for len(idx) > 1 {
+			pairs := make([][2]fed.Partial, 0, len(idx)/2)
+			for pi := 0; pi+1 < len(idx); pi += 2 {
+				pairs = append(pairs, [2]fed.Partial{slate[idx[pi+1]], slate[idx[pi]]})
+			}
+			res := sac.LessBatch(pairs)
+			next := make([]int, 0, (len(idx)+1)/2)
+			for mi, r := range res {
+				win := idx[2*mi]
+				if r {
+					win = idx[2*mi+1]
+				}
+				next = append(next, win)
+			}
+			if len(idx)%2 == 1 {
+				next = append(next, idx[len(idx)-1])
+			}
+			idx = next
+		}
+		mu, meet = slate[idx[0]], ms[idx[0]]
+	}
 
 	settledTotal := 0
 	for turn := 0; !fwd.done || !bwd.done; turn++ {
@@ -212,6 +255,8 @@ func (e *Engine) SPSP(s, t graph.Vertex) (PathResult, QueryStats, error) {
 
 		t0 = time.Now()
 		var batch []*item
+		var muCands []fed.Partial
+		var muMeets []meeting
 		for _, at := range exp.arcs(it.v, sd.forward) {
 			if _, dup := sd.settled[at.to]; dup {
 				continue
@@ -226,7 +271,8 @@ func (e *Engine) SPSP(s, t graph.Vertex) (PathResult, QueryStats, error) {
 				} else {
 					m = meeting{fv: at.to, crossArc: at.arc, bv: it.v}
 				}
-				updateMu(cand, m)
+				muCands = append(muCands, cand)
+				muMeets = append(muMeets, m)
 			}
 			key := ng
 			heuristicEvals++
@@ -235,6 +281,7 @@ func (e *Engine) SPSP(s, t graph.Vertex) (PathResult, QueryStats, error) {
 			}
 			batch = append(batch, &item{v: at.to, key: key, g: ng, parent: it.v, parc: at.arc})
 		}
+		flushMu(muCands, muMeets)
 		phases.Relax += time.Since(t0)
 		t0 = time.Now()
 		sd.q.PushBatch(batch)

@@ -2,7 +2,6 @@ package mpc
 
 import (
 	"fmt"
-	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -10,27 +9,223 @@ import (
 )
 
 // The batched comparison runs k independent comparisons inside ONE
-// RoundsPerCompare-round protocol instance: input shares, masked openings,
-// circuit-level AND openings and result bits of all k instances travel in
-// the same frames. Communication rounds — the latency-dominated cost on real
-// networks — are paid once per batch instead of once per comparison.
+// RoundsPerCompare-round protocol instance: masked openings, circuit-level
+// AND openings and result bits of all k instances travel in the same frames.
+// Communication rounds — the latency-dominated cost on real networks — are
+// paid once per batch instead of once per comparison.
 //
-// FedRoad uses this for the TM-tree's tournament build, whose level-wise
-// comparisons are independent by construction (§VI): a batch push of n items
-// costs n−1 comparisons in only ⌈log₂ n⌉ batched protocol instances.
+// The default path is word-packed (see pack.go): each circuit wire holds one
+// bit of every instance in machine-word lanes, so the level-synchronous
+// Beaver evaluation is 64-way SIMD in plain uint64 arithmetic and each
+// gate's masked bits serialize as a dense ⌈k/8⌉-byte vector. The unpacked
+// byte-per-bit path is retained (Params.NoPack / FEDROAD_MPC_NOPACK) as a
+// differential oracle for the packed one; both produce bit-identical
+// results and round counts, differing only in frame layout and CPU cost.
+//
+// FedRoad uses batching for the TM-tree's tournament build, the SPSP
+// frontier's μ-updates and the CH builder's witness searches, whose
+// level-wise comparisons are independent by construction (§VI).
 
-// RunCompareBatchParty executes one party's role for k comparisons at once.
-// diffs[i] is the party's private difference of instance i; tups[i] its
-// dealer tuple for instance i. Every party learns the k comparison bits.
-func RunCompareBatchParty(conn transport.Conn, rng *rand.Rand, diffs []int64, tups []CmpTuple) ([]bool, error) {
+// RunCompareBatchParty executes one party's role for k comparisons at once
+// over an arbitrary transport, using the word-packed wire format. diffs[i]
+// is the party's private difference of instance i; tups[i] its dealer tuple
+// for instance i. Every party learns the k comparison bits.
+func RunCompareBatchParty(conn transport.Conn, diffs []int64, tups []CmpTuple) ([]bool, error) {
 	ud := make([]uint64, len(diffs))
 	for i, d := range diffs {
 		ud[i] = uint64(d)
 	}
-	return compareBatchParty(conn, rng, ud, tups)
+	return compareBatchPackedParty(conn, ud, tups)
 }
 
-func compareBatchParty(conn transport.Conn, rng *rand.Rand, diffs []uint64, tups []CmpTuple) ([]bool, error) {
+// compareBatchPackedParty is the word-packed batched comparison protocol.
+// Its transcript carries, per round, one dense bit-vector per circuit gate
+// (lane i = instance i); its round count and comparison results are
+// identical to the unpacked path's.
+func compareBatchPackedParty(conn transport.Conn, diffs []uint64, tups []CmpTuple) ([]bool, error) {
+	me, n := conn.Party(), conn.N()
+	k := len(diffs)
+	if len(tups) != k {
+		return nil, fmt.Errorf("mpc: %d tuples for %d comparisons", len(tups), k)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	W := wordsFor(k)
+	vb := packedVecBytes(k)
+
+	// Round 1 — fused masked openings C_i = D_i + R_i, all in one frame.
+	// As in the scalar protocol, the inputs d_p already form an additive
+	// sharing of each D_i, so each party broadcasts d_p + r_p directly.
+	frame := getFrame(8 * k)
+	for i, d := range diffs {
+		putU64(frame[8*i:], d+tups[i].RShare)
+	}
+	opened, err := broadcast(conn, frame)
+	if err != nil {
+		putFrame(frame)
+		return nil, err
+	}
+	cs := make([]uint64, k)
+	for q := 0; q < n; q++ {
+		for i := 0; i < k; i++ {
+			cs[i] += getU64(opened[q][8*i:])
+		}
+	}
+	putFrame(frame)
+
+	// Transpose the correlated randomness and the public C bits into word
+	// lanes. rb[b*W+w] is this party's packed XOR share of bit b of R across
+	// instances 64w..64w+63; cb likewise holds the (public) bits of C.
+	rb := packRBitLanes(tups, W)
+	wt := packTripleLanes(tups, W)
+	cb := getWords(K * W)
+	defer putWords(cb)
+	for i, c := range cs {
+		wi, bit := i>>6, uint(i&63)
+		for b := 0; b < K; b++ {
+			if c>>uint(b)&1 == 1 {
+				cb[b*W+wi] |= 1 << bit
+			}
+		}
+	}
+
+	// Leaf shares, word-parallel over instances:
+	//
+	//	g_b = ¬c_b ∧ r_b          (borrow generated at bit b)
+	//	p_b = ¬(c_b ⊕ r_b)        (borrow propagated through bit b)
+	//
+	// Constants fold into party 0's share. Lanes ≥ k hold garbage derived
+	// from public values only; serialization masks them to zero.
+	g := getWords(NumLeaves * W)
+	p := getWords(NumLeaves * W)
+	defer putWords(g)
+	defer putWords(p)
+	for b := 0; b < NumLeaves; b++ {
+		for w := 0; w < W; w++ {
+			cw := cb[b*W+w]
+			rw := rb[b*W+w]
+			g[b*W+w] = rw &^ cw
+			pv := rw
+			if me == 0 {
+				pv ^= ^cw
+			}
+			p[b*W+w] = pv
+		}
+	}
+
+	// Log-depth tree reduction of (g, p) segments, ascending significance:
+	// (G, P) = (g_hi ⊕ (p_hi ∧ g_lo), p_hi ∧ p_lo). Each level opens all its
+	// gates' masked vectors in one frame; gate t consumes word triple t, the
+	// same triple the unpacked path spends on that gate of every instance.
+	ew := getWords(W)
+	fw := getWords(W)
+	zw := getWords(2 * W) // z of the pair's two gates
+	defer putWords(ew)
+	defer putWords(fw)
+	defer putWords(zw)
+	triplesUsed := 0
+	leaves := NumLeaves
+	for leaves > 1 {
+		half := leaves / 2
+		gates := 2 * half
+		frame := getFrame(gates * 2 * vb)
+		for pr := 0; pr < half; pr++ {
+			lo, hi := 2*pr, 2*pr+1
+			for sub := 0; sub < 2; sub++ {
+				// Gate 2pr: (p_hi ∧ g_lo); gate 2pr+1: (p_hi ∧ p_lo).
+				t := triplesUsed + 2*pr + sub
+				y := g
+				if sub == 1 {
+					y = p
+				}
+				off := (2*pr + sub) * 2 * vb
+				for w := 0; w < W; w++ {
+					tr := &wt[t*W+w]
+					ew[w] = p[hi*W+w] ^ tr.A
+					fw[w] = y[lo*W+w] ^ tr.B
+				}
+				packWordVec(frame[off:], ew, k)
+				packWordVec(frame[off+vb:], fw, k)
+			}
+		}
+		opened, err := broadcast(conn, frame)
+		if err != nil {
+			putFrame(frame)
+			return nil, err
+		}
+		for pr := 0; pr < half; pr++ {
+			for sub := 0; sub < 2; sub++ {
+				t := triplesUsed + 2*pr + sub
+				off := (2*pr + sub) * 2 * vb
+				for w := 0; w < W; w++ {
+					ew[w], fw[w] = 0, 0
+				}
+				for q := 0; q < n; q++ {
+					xorWordVec(ew, opened[q][off:off+vb], k)
+					xorWordVec(fw, opened[q][off+vb:off+2*vb], k)
+				}
+				for w := 0; w < W; w++ {
+					tr := &wt[t*W+w]
+					z := tr.C ^ (fw[w] & tr.A) ^ (ew[w] & tr.B)
+					if me == 0 {
+						z ^= ew[w] & fw[w]
+					}
+					zw[sub*W+w] = z
+				}
+			}
+			// Combine in place: pair pr writes index pr, reads 2pr/2pr+1 —
+			// always at or beyond the write cursor.
+			hi := 2*pr + 1
+			for w := 0; w < W; w++ {
+				g[pr*W+w] = g[hi*W+w] ^ zw[w]
+				p[pr*W+w] = zw[W+w]
+			}
+		}
+		if leaves%2 == 1 { // odd element is most significant: stays last
+			copy(g[half*W:(half+1)*W], g[(leaves-1)*W:leaves*W])
+			copy(p[half*W:(half+1)*W], p[(leaves-1)*W:leaves*W])
+		}
+		putFrame(frame)
+		triplesUsed += gates
+		leaves = half + leaves%2
+	}
+
+	// Final round — open all k result bits in one packed vector:
+	// d_{K-1} = c_{K-1} ⊕ r_{K-1} ⊕ G.
+	res := getWords(W)
+	defer putWords(res)
+	for w := 0; w < W; w++ {
+		res[w] = rb[(K-1)*W+w] ^ g[w]
+		if me == 0 {
+			res[w] ^= cb[(K-1)*W+w]
+		}
+	}
+	resFrame := getFrame(vb)
+	packWordVec(resFrame, res, k)
+	openedBits, err := broadcast(conn, resFrame)
+	if err != nil {
+		putFrame(resFrame)
+		return nil, err
+	}
+	for w := 0; w < W; w++ {
+		res[w] = 0
+	}
+	for q := 0; q < n; q++ {
+		xorWordVec(res, openedBits[q], k)
+	}
+	putFrame(resFrame)
+	out := make([]bool, k)
+	for i := 0; i < k; i++ {
+		out[i] = res[i>>6]>>(uint(i)&63)&1 == 1
+	}
+	return out, nil
+}
+
+// compareBatchParty is the unpacked (byte-per-bit) batched comparison,
+// retained as the differential twin of the packed path: same rounds, same
+// triple consumption, same results, different frame layout.
+func compareBatchParty(conn transport.Conn, diffs []uint64, tups []CmpTuple) ([]bool, error) {
 	me, n := conn.Party(), conn.N()
 	k := len(diffs)
 	if len(tups) != k {
@@ -40,52 +235,10 @@ func compareBatchParty(conn transport.Conn, rng *rand.Rand, diffs []uint64, tups
 		return nil, nil
 	}
 
-	// Round 1 — share all k inputs in one frame per peer.
+	// Round 1 — fused masked openings C_i = D_i + R_i, all in one frame.
 	frame := make([]byte, 8*k)
-	kept := make([]uint64, k)
-	peerFrames := make([][]byte, n)
-	for q := 0; q < n; q++ {
-		if q != me {
-			peerFrames[q] = make([]byte, 8*k)
-		}
-	}
 	for i, d := range diffs {
-		shares := ShareAdditive(rng, d, n)
-		kept[i] = shares[me]
-		for q := 0; q < n; q++ {
-			if q != me {
-				putU64(peerFrames[q][8*i:], shares[q])
-			}
-		}
-	}
-	for q := 0; q < n; q++ {
-		if q == me {
-			continue
-		}
-		if err := conn.Send(q, peerFrames[q]); err != nil {
-			return nil, fmt.Errorf("mpc: batch input share to %d: %w", q, err)
-		}
-	}
-	shareD := kept
-	for q := 0; q < n; q++ {
-		if q == me {
-			continue
-		}
-		msg, err := conn.Recv(q)
-		if err != nil {
-			return nil, fmt.Errorf("mpc: batch input share from %d: %w", q, err)
-		}
-		if len(msg) != 8*k {
-			return nil, fmt.Errorf("mpc: batch share frame size %d != %d", len(msg), 8*k)
-		}
-		for i := 0; i < k; i++ {
-			shareD[i] += getU64(msg[8*i:])
-		}
-	}
-
-	// Round 2 — masked openings C_i = D_i + R_i, all in one frame.
-	for i := 0; i < k; i++ {
-		putU64(frame[8*i:], shareD[i]+tups[i].RShare)
+		putU64(frame[8*i:], d+tups[i].RShare)
 	}
 	opened, err := broadcast(conn, frame)
 	if err != nil {
@@ -178,16 +331,46 @@ func compareBatchParty(conn transport.Conn, rng *rand.Rand, diffs []uint64, tups
 	return out, nil
 }
 
-// batchCost is the calibrated wire cost of one batched comparison run.
-type batchCost struct {
-	bytes int64
-	msgs  int64
+// batchWireCost is the analytic wire cost of one k-batch comparison among n
+// parties: exact payload bytes and message count as transport.Mem would
+// account them (every byte counted once, at its sender). Both protocol paths
+// are data-oblivious, so the cost is a pure function of (n, k, layout):
+//
+//	masked open   n(n−1) frames of 8k bytes
+//	circuit level n(n−1) frames of gates·2·⌈k/8⌉ (packed) or
+//	              ⌈gates·2·k/8⌉ (unpacked global bit-packing)
+//	result open   n(n−1) frames of ⌈k/8⌉ bytes
+//
+// This replaces the old per-size protocol-run calibration: the model is
+// exact by construction (validated against measured transport stats in
+// pack_test.go), costs nothing at query time, and makes the batching
+// decision monotone — a k-batch never costs more rounds than k sequential
+// comparisons, so batching can no longer regress below unbatched.
+func batchWireCost(n, k int, packed bool) (bytes, msgs int64) {
+	if k == 0 {
+		return 0, 0
+	}
+	per := 8 * k // masked open
+	vb := packedVecBytes(k)
+	leaves := NumLeaves
+	for leaves > 1 {
+		half := leaves / 2
+		gates := 2 * half
+		if packed {
+			per += gates * 2 * vb
+		} else {
+			per += (gates*2*k + 7) / 8
+		}
+		leaves = half + leaves%2
+	}
+	per += vb // result open
+	pairs := int64(n) * int64(n-1)
+	return pairs * int64(per), pairs * int64(RoundsPerCompare)
 }
 
 // CompareBatch decides, for each instance i, whether Σ_p diffs[i][p] < 0 —
 // k secure comparisons in a single RoundsPerCompare-round protocol run.
-// In ideal mode the per-batch-size wire cost is calibrated lazily against
-// one protocol-mode execution and cached.
+// Wire costs are accounted analytically via batchWireCost.
 func (e *Engine) CompareBatch(diffs [][]int64) ([]bool, error) {
 	k := len(diffs)
 	if k == 0 {
@@ -198,11 +381,9 @@ func (e *Engine) CompareBatch(diffs [][]int64) ([]bool, error) {
 			return nil, fmt.Errorf("mpc: instance %d has %d inputs for %d parties", i, len(d), e.n)
 		}
 	}
-	cost, err := e.batchCostFor(k)
-	if err != nil {
-		return nil, err
-	}
+	bytes, msgs := batchWireCost(e.n, k, !e.noPack)
 	var out []bool
+	var err error
 	switch e.mode {
 	case ModeIdeal:
 		out = make([]bool, k)
@@ -224,10 +405,10 @@ func (e *Engine) CompareBatch(diffs [][]int64) ([]bool, error) {
 	}
 	e.stats.Compares += int64(k)
 	e.stats.Rounds += int64(RoundsPerCompare)
-	e.stats.Bytes += cost.bytes
-	e.stats.Messages += cost.msgs
-	e.stats.SimNet += e.simNetFor(cost.bytes)
-	e.instr.record(int64(k), int64(RoundsPerCompare), cost.bytes, cost.msgs)
+	e.stats.Bytes += bytes
+	e.stats.Messages += msgs
+	e.stats.SimNet += e.simNetFor(bytes)
+	e.instr.record(int64(k), int64(RoundsPerCompare), bytes, msgs)
 	return out, nil
 }
 
@@ -236,33 +417,6 @@ func (e *Engine) simNetFor(totalBytes int64) time.Duration {
 	perParty := float64(totalBytes) / float64(e.n)
 	return time.Duration(float64(RoundsPerCompare)*float64(e.netm.Latency) +
 		perParty/e.netm.Bandwidth*float64(time.Second))
-}
-
-// batchCostFor returns (calibrating on first use) the wire cost of a k-batch.
-// The cache is shared across the engine's fork family with single-flight
-// admission: concurrent forks missing on the same size elect one leader to
-// calibrate while the others wait for its result.
-func (e *Engine) batchCostFor(k int) (batchCost, error) {
-	c, ok, _ := e.calib.begin(k)
-	if ok {
-		return c, nil
-	}
-	// This engine is the calibration leader for size k.
-	// Calibration: run one protocol-mode batch of size k on zero inputs.
-	zero := make([][]int64, k)
-	for i := range zero {
-		zero[i] = make([]int64, e.n)
-	}
-	if _, err := e.runBatchProtocol(zero); err != nil {
-		err = fmt.Errorf("mpc: batch calibration (k=%d): %w", k, err)
-		e.calib.finish(k, batchCost{}, err)
-		return batchCost{}, err
-	}
-	st := e.mem.Stats()
-	c = batchCost{bytes: st.Bytes, msgs: st.Messages}
-	e.mem.ResetStats()
-	e.calib.finish(k, c, nil)
-	return c, nil
 }
 
 // runBatchProtocol executes a batched comparison under the engine's failure
@@ -282,7 +436,7 @@ func (e *Engine) runBatchProtocol(diffs [][]int64) ([]bool, error) {
 }
 
 // runBatchProtocolOnce executes one batched comparison across party
-// goroutines.
+// goroutines, on the packed or unpacked path per the engine's config.
 func (e *Engine) runBatchProtocolOnce(diffs [][]int64) ([]bool, error) {
 	k := len(diffs)
 	tuples := make([][]CmpTuple, e.n) // [party][instance]
@@ -295,6 +449,11 @@ func (e *Engine) runBatchProtocolOnce(diffs [][]int64) ([]bool, error) {
 			tuples[p][i] = ts[p]
 		}
 	}
+	party := compareBatchPackedParty
+	if e.noPack {
+		party = compareBatchParty
+	}
+	start := time.Now()
 	results := make([][]bool, e.n)
 	errs := make([]error, e.n)
 	var wg sync.WaitGroup
@@ -306,7 +465,7 @@ func (e *Engine) runBatchProtocolOnce(diffs [][]int64) ([]bool, error) {
 			for i := 0; i < k; i++ {
 				ud[i] = uint64(diffs[i][p])
 			}
-			results[p], errs[p] = compareBatchParty(e.conns[p], e.rngs[p], ud, tuples[p])
+			results[p], errs[p] = party(e.conns[p], ud, tuples[p])
 		}(p)
 	}
 	wg.Wait()
@@ -315,6 +474,7 @@ func (e *Engine) runBatchProtocolOnce(diffs [][]int64) ([]bool, error) {
 			return nil, fmt.Errorf("mpc: party %d: %w", p, err)
 		}
 	}
+	e.observeRounds(time.Since(start), RoundsPerCompare)
 	for p := 1; p < e.n; p++ {
 		for i := 0; i < k; i++ {
 			if results[p][i] != results[0][i] {

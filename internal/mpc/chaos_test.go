@@ -2,6 +2,7 @@ package mpc
 
 import (
 	"errors"
+	"math/rand/v2"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -212,6 +213,45 @@ func TestChaosBatchCompare(t *testing.T) {
 	}
 	if !e2.Poisoned() {
 		t.Fatal("engine not poisoned after batched crash")
+	}
+}
+
+func TestChaosPackedRaggedBatch(t *testing.T) {
+	// Word-packed rounds under fault injection: a transient fault mid-batch
+	// on a ragged (non-multiple-of-8) lane count must be absorbed by retry
+	// with every lane still correct, on both wire layouts.
+	rng := rand.New(rand.NewPCG(77, 77))
+	diffs, want := randomBatch(rng, 3, 13)
+	for _, noPack := range []bool{false, true} {
+		wrap, arm, _ := armedWrap(1, transport.FaultPlan{After: 1, Script: []transport.FaultKind{transport.FaultError}})
+		root, err := NewEngine(Params{
+			Parties:      3,
+			Mode:         ModeProtocol,
+			Seed:         36,
+			NoPack:       noPack,
+			RoundTimeout: 500 * time.Millisecond,
+			Retry:        RetryPolicy{Attempts: 2, Backoff: time.Millisecond},
+			Wrap:         wrap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arm.Store(true)
+		e := root.Fork()
+		got, err := e.CompareBatch(diffs)
+		if err != nil {
+			t.Fatalf("noPack=%v: retry did not absorb the fault: %v", noPack, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("noPack=%v: lane %d wrong after retry", noPack, i)
+			}
+		}
+		if e.Poisoned() {
+			t.Fatalf("noPack=%v: engine poisoned by a recovered fault", noPack)
+		}
+		e.Close()
+		root.Close()
 	}
 }
 

@@ -2,7 +2,6 @@ package mpc
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	"repro/internal/transport"
 )
@@ -11,10 +10,9 @@ import (
 // arbitrary transport (e.g. a TCP mesh spanning real processes): the party
 // contributes the private difference diff = a_p − b_p and learns only
 // whether Σ_p diff_p < 0. The party's tuple must come from the same dealer
-// batch as every other party's (the preprocessing phase). rng supplies the
-// party's local input-sharing randomness.
-func RunCompareParty(conn transport.Conn, rng *rand.Rand, diff int64, tup *CmpTuple) (bool, error) {
-	return compareParty(conn, rng, uint64(diff), tup)
+// batch as every other party's (the preprocessing phase).
+func RunCompareParty(conn transport.Conn, diff int64, tup *CmpTuple) (bool, error) {
+	return compareParty(conn, uint64(diff), tup)
 }
 
 // compareParty runs one party's role in the secure comparison protocol.
@@ -23,41 +21,19 @@ func RunCompareParty(conn transport.Conn, rng *rand.Rand, diff int64, tup *CmpTu
 // i.e. whether the first joint operand is smaller. Every party learns the
 // same single output bit.
 //
-// rng supplies this party's local randomness for input sharing; tup is this
-// party's slice of the dealer's correlated randomness.
-func compareParty(conn transport.Conn, rng *rand.Rand, diff uint64, tup *CmpTuple) (bool, error) {
+// tup is this party's slice of the dealer's correlated randomness.
+func compareParty(conn transport.Conn, diff uint64, tup *CmpTuple) (bool, error) {
 	me, n := conn.Party(), conn.N()
 
-	// Round 1 — input sharing: split diff into n additive shares, keep one,
-	// send one to each peer; accumulate peers' shares of their inputs.
-	// Afterwards shareD is this party's additive share of D.
-	myShares := ShareAdditive(rng, diff, n)
+	// Round 1 — fused masked opening of C = D + R. The inputs d_p already
+	// form an additive sharing of D, so instead of a separate input-sharing
+	// round each party broadcasts m_p = d_p + r_p directly, where r_p is its
+	// additive share of the dealer's uniform mask R. Any n−1 of the m_p are
+	// jointly uniform (each is masked by an r_p the observer does not hold),
+	// and their sum opens only C = D + R — exactly what the old two-round
+	// share-then-open sequence revealed, one round cheaper.
 	var buf8 [8]byte
-	for q := 0; q < n; q++ {
-		if q == me {
-			continue
-		}
-		putU64(buf8[:], myShares[q])
-		if err := conn.Send(q, buf8[:]); err != nil {
-			return false, fmt.Errorf("mpc: input share to %d: %w", q, err)
-		}
-	}
-	shareD := myShares[me]
-	for q := 0; q < n; q++ {
-		if q == me {
-			continue
-		}
-		msg, err := conn.Recv(q)
-		if err != nil {
-			return false, fmt.Errorf("mpc: input share from %d: %w", q, err)
-		}
-		shareD += getU64(msg)
-	}
-
-	// Round 2 — masked opening of C = D + R. Each party broadcasts its share
-	// of C; the sum is public and uniformly distributed (R is uniform).
-	shareC := shareD + tup.RShare
-	putU64(buf8[:], shareC)
+	putU64(buf8[:], diff+tup.RShare)
 	opened, err := broadcast(conn, buf8[:])
 	if err != nil {
 		return false, err

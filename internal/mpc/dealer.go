@@ -41,8 +41,10 @@ func circuitLevels(leaves int) int {
 }
 
 // RoundsPerCompare is the number of communication rounds of one comparison:
-// input sharing, masked opening, one per circuit level, result opening.
-var RoundsPerCompare = 3 + circuitLevels(NumLeaves)
+// fused masked opening (the inputs are already an additive sharing, so no
+// separate input-sharing round exists), one per circuit level, result
+// opening.
+var RoundsPerCompare = 2 + circuitLevels(NumLeaves)
 
 // Dealer produces correlated randomness for the online protocol. It models
 // the offline/preprocessing phase of the underlying MPC stack (Temi's

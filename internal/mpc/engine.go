@@ -3,7 +3,7 @@ package mpc
 import (
 	"errors"
 	"fmt"
-	"math/rand/v2"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,10 +25,12 @@ type Mode int
 
 const (
 	// ModeIdeal evaluates the ideal functionality directly (same outputs as
-	// the protocol, no messages) and accounts communication analytically
-	// from a one-time protocol-mode calibration. The benchmark harness uses
-	// this mode so that large parameter sweeps stay tractable while byte,
-	// round and message counts remain exact.
+	// the protocol, no messages) and accounts communication analytically:
+	// the protocols are data-oblivious, so their wire cost is an exact
+	// closed-form function of (parties, batch size, frame layout) — see
+	// batchWireCost. The benchmark harness uses this mode so that large
+	// parameter sweeps stay tractable while byte, round and message counts
+	// remain exact.
 	ModeIdeal Mode = iota
 	// ModeProtocol runs the full secret-sharing protocol between party
 	// goroutines over an in-process network. Tests, examples and
@@ -71,6 +73,13 @@ type Params struct {
 	// reflect the paper's cost model and concurrent engine forks overlap
 	// their network waits.
 	RealDelay bool
+
+	// NoPack selects the unpacked byte-per-bit batched protocol instead of
+	// the word-packed default. Results and round counts are identical; the
+	// flag exists so the differential oracle and the chaos/race CI matrix
+	// can exercise both wire layouts. The FEDROAD_MPC_NOPACK environment
+	// variable (any non-empty value but "0") forces it on.
+	NoPack bool
 
 	// RoundTimeout bounds how long any party waits for a single frame during
 	// a protocol round (protocol mode; 0 = wait forever). With it set, a
@@ -171,17 +180,21 @@ func (s Stats) Sub(other Stats) Stats {
 // An Engine is not safe for concurrent use, but independent engines run
 // concurrently: Fork gives each in-flight query its own engine instance
 // (own transport lanes, dealer stream, party randomness and stat counters)
-// sharing only the immutable calibration data of its root.
+// sharing only its root's immutable configuration and the fork-family
+// observed-RTT estimate (a single atomic).
 type Engine struct {
 	n      int
 	mode   Mode
 	netm   NetworkModel
 	seed   uint64
 	dealer *Dealer
-	rngs   []*rand.Rand
 	mem    *transport.Mem
 	conns  []transport.Conn
 	stats  Stats
+
+	// noPack switches CompareBatch to the unpacked wire layout; inherited by
+	// forks. The analytic cost accounting follows the selected layout.
+	noPack bool
 
 	// realDelay mirrors whether mem currently applies netm in real time.
 	realDelay bool
@@ -209,66 +222,29 @@ type Engine struct {
 	// whole fork family.
 	forkCtr *atomic.Uint64
 
-	// calibrated per-comparison costs (identical for every comparison: the
+	// analytic per-comparison costs (identical for every comparison: the
 	// protocol's communication pattern is input-independent)
 	cmpBytes  int64
 	cmpMsgs   int64
 	cmpSimNet time.Duration
 
-	// per-batch-size calibrated costs for CompareBatch, filled lazily and
-	// shared (thread-safely) across the fork family
-	calib *batchCalib
+	// rtt is the fork-family-shared EWMA of observed wall time per protocol
+	// round, in nanoseconds — the measured component of the cost model
+	// (analytic bytes/rounds × observed round time). Zero until the family
+	// has completed a protocol-mode run.
+	rtt *atomic.Int64
 }
 
-// batchCalib is the fork-shared cache of per-batch-size calibrated costs,
-// with single-flight admission: when several forks miss on the same batch
-// size at once (the parallel index builder does exactly this), one becomes
-// the calibration leader and the rest wait for its result instead of each
-// paying a protocol-mode run.
-type batchCalib struct {
-	mu      sync.Mutex
-	costs   map[int]batchCost
-	pending map[int]chan struct{}
-}
+// envNoPack reports whether FEDROAD_MPC_NOPACK forces the unpacked batch
+// layout, evaluated once per process.
+var envNoPack = sync.OnceValue(func() bool {
+	v := os.Getenv("FEDROAD_MPC_NOPACK")
+	return v != "" && v != "0"
+})
 
-// begin either returns the cached cost (leader=false, ok=true), elects the
-// caller as calibration leader for k (leader=true), or blocks until the
-// current leader finishes and then retries.
-func (c *batchCalib) begin(k int) (cost batchCost, ok, leader bool) {
-	for {
-		c.mu.Lock()
-		if cost, ok := c.costs[k]; ok {
-			c.mu.Unlock()
-			return cost, true, false
-		}
-		if wait, inflight := c.pending[k]; inflight {
-			c.mu.Unlock()
-			<-wait
-			continue // leader stored a result or failed; re-examine
-		}
-		if c.pending == nil {
-			c.pending = make(map[int]chan struct{})
-		}
-		c.pending[k] = make(chan struct{})
-		c.mu.Unlock()
-		return batchCost{}, false, true
-	}
-}
-
-// finish publishes the leader'"'"'s result (on success) and releases waiters.
-func (c *batchCalib) finish(k int, cost batchCost, err error) {
-	c.mu.Lock()
-	wait := c.pending[k]
-	delete(c.pending, k)
-	if err == nil {
-		c.costs[k] = cost
-	}
-	c.mu.Unlock()
-	close(wait)
-}
-
-// NewEngine creates an engine. It runs one calibration comparison in
-// protocol mode to measure the exact per-comparison wire cost.
+// NewEngine creates an engine. Per-comparison wire costs are computed
+// analytically (the protocols are data-oblivious), so construction performs
+// no protocol run.
 func NewEngine(p Params) (*Engine, error) {
 	if p.Parties < 2 {
 		return nil, fmt.Errorf("mpc: need at least 2 parties, got %d", p.Parties)
@@ -280,15 +256,12 @@ func NewEngine(p Params) (*Engine, error) {
 		n: p.Parties, mode: p.Mode, netm: p.Net, seed: p.Seed,
 		dealer:       NewDealer(p.Parties, p.Seed),
 		forkCtr:      new(atomic.Uint64),
-		calib:        &batchCalib{costs: make(map[int]batchCost)},
+		rtt:          new(atomic.Int64),
+		noPack:       p.NoPack || envNoPack(),
 		roundTimeout: p.RoundTimeout,
 		retry:        p.Retry,
 		wrap:         p.Wrap,
 		instr:        p.Instr,
-	}
-	e.rngs = make([]*rand.Rand, e.n)
-	for i := range e.rngs {
-		e.rngs[i] = rand.New(rand.NewPCG(p.Seed+uint64(i)*0x9e3779b97f4a7c15, uint64(i)+1))
 	}
 	e.mem = transport.NewMem(e.n)
 	e.mem.SetRecvTimeout(e.roundTimeout)
@@ -297,30 +270,20 @@ func NewEngine(p Params) (*Engine, error) {
 		e.conns[i] = e.wrapConn(i, e.mem.Conn(i))
 	}
 
-	// Calibrate: one real protocol run, then zero the counters. The protocol
-	// is data-oblivious, so every later comparison costs exactly the same.
-	calib := make([]int64, e.n)
-	calib[0] = 1
-	if _, err := e.runProtocol(calib); err != nil {
-		return nil, fmt.Errorf("mpc: calibration failed: %w", err)
-	}
-	st := e.mem.Stats()
-	e.cmpBytes = st.Bytes
-	e.cmpMsgs = st.Messages
-	perPartyBytes := float64(st.Bytes) / float64(e.n)
-	e.cmpSimNet = time.Duration(float64(RoundsPerCompare)*float64(e.netm.Latency) +
-		perPartyBytes/e.netm.Bandwidth*float64(time.Second))
-	e.mem.ResetStats()
+	// The scalar protocol always uses the bit-packed frame layout (word
+	// packing only pays off across instances), so its cost is the unpacked
+	// k=1 batch cost.
+	e.cmpBytes, e.cmpMsgs = batchWireCost(e.n, 1, false)
+	e.cmpSimNet = e.simNetFor(e.cmpBytes)
 	e.SetRealDelay(p.RealDelay)
 	return e, nil
 }
 
 // Fork returns an independent engine over the same parties and network
-// model: fresh transport lanes, a fresh dealer stream, fresh party
-// randomness and zeroed stats, sharing the root's calibration (so no
-// calibration protocol run is repeated) and its preprocessing pool and
-// real-delay setting. Forks may run concurrently with each other and with
-// their root; each individual engine remains single-goroutine.
+// model: fresh transport lanes, a fresh dealer stream and zeroed stats,
+// sharing the root's preprocessing pool, wire layout, observed-RTT tracker
+// and real-delay setting. Forks may run concurrently with each other and
+// with their root; each individual engine remains single-goroutine.
 func (e *Engine) Fork() *Engine {
 	id := e.forkCtr.Add(1)
 	seed := e.seed + id*0xd1342543de82ef95 // distinct odd-multiplier stream per fork
@@ -328,7 +291,8 @@ func (e *Engine) Fork() *Engine {
 		n: e.n, mode: e.mode, netm: e.netm, seed: e.seed,
 		dealer:       NewDealer(e.n, seed),
 		forkCtr:      e.forkCtr,
-		calib:        e.calib,
+		rtt:          e.rtt,
+		noPack:       e.noPack,
 		pool:         e.pool,
 		instr:        e.instr,
 		roundTimeout: e.roundTimeout,
@@ -338,10 +302,6 @@ func (e *Engine) Fork() *Engine {
 	}
 	if e.instr != nil {
 		e.instr.Forks.Inc()
-	}
-	f.rngs = make([]*rand.Rand, f.n)
-	for i := range f.rngs {
-		f.rngs[i] = rand.New(rand.NewPCG(seed+uint64(i)*0x9e3779b97f4a7c15, uint64(i)+1))
 	}
 	f.mem = transport.NewMem(f.n)
 	f.mem.SetRecvTimeout(f.roundTimeout)
@@ -417,10 +377,35 @@ func (e *Engine) N() int { return e.n }
 // Mode returns the execution mode.
 func (e *Engine) Mode() Mode { return e.mode }
 
-// PerCompareCost reports the calibrated per-comparison cost: total wire
+// PerCompareCost reports the analytic per-comparison cost: total wire
 // bytes (all parties), rounds, and simulated network time.
 func (e *Engine) PerCompareCost() (bytes int64, rounds int, simNet time.Duration) {
 	return e.cmpBytes, RoundsPerCompare, e.cmpSimNet
+}
+
+// observeRounds folds one protocol run's wall time into the fork-family
+// EWMA of per-round latency (weight 1/8). Protocol paths call it after each
+// successful run; the tracker is shared, so any fork's runs inform the
+// whole family.
+func (e *Engine) observeRounds(elapsed time.Duration, rounds int) {
+	if rounds <= 0 {
+		return
+	}
+	sample := int64(elapsed) / int64(rounds)
+	prev := e.rtt.Load()
+	if prev == 0 {
+		e.rtt.Store(sample)
+		return
+	}
+	e.rtt.Store(prev + (sample-prev)/8)
+}
+
+// ObservedRoundTime reports the fork-family EWMA of measured wall time per
+// protocol round — the empirical counterpart of the network model's
+// latency term. Zero when no protocol-mode run has completed yet (e.g. in
+// ideal mode, where rounds are only accounted, not executed).
+func (e *Engine) ObservedRoundTime() time.Duration {
+	return time.Duration(e.rtt.Load())
 }
 
 // Compare decides whether Σ diffs < 0, where diffs[p] is party p's private
@@ -529,6 +514,7 @@ func (e *Engine) retryProtocol(run func() error) error {
 // goroutines.
 func (e *Engine) runProtocolOnce(diffs []int64) (bool, error) {
 	tuples := e.tuplesForCompare()
+	start := time.Now()
 	results := make([]bool, e.n)
 	errs := make([]error, e.n)
 	var wg sync.WaitGroup
@@ -536,7 +522,7 @@ func (e *Engine) runProtocolOnce(diffs []int64) (bool, error) {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			results[p], errs[p] = compareParty(e.conns[p], e.rngs[p], uint64(diffs[p]), &tuples[p])
+			results[p], errs[p] = compareParty(e.conns[p], uint64(diffs[p]), &tuples[p])
 		}(p)
 	}
 	wg.Wait()
@@ -545,6 +531,7 @@ func (e *Engine) runProtocolOnce(diffs []int64) (bool, error) {
 			return false, fmt.Errorf("mpc: party %d: %w", p, err)
 		}
 	}
+	e.observeRounds(time.Since(start), RoundsPerCompare)
 	for p := 1; p < e.n; p++ {
 		if results[p] != results[0] {
 			return false, fmt.Errorf("mpc: parties disagree on comparison result")

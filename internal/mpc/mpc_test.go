@@ -133,8 +133,9 @@ func TestCircuitSizeConstants(t *testing.T) {
 	if circuitLevels(63) != 6 {
 		t.Fatalf("circuitLevels(63) = %d, want 6", circuitLevels(63))
 	}
-	if RoundsPerCompare != 9 {
-		t.Fatalf("RoundsPerCompare = %d, want 9", RoundsPerCompare)
+	// Fused masked opening + 6 circuit levels + result opening.
+	if RoundsPerCompare != 8 {
+		t.Fatalf("RoundsPerCompare = %d, want 8", RoundsPerCompare)
 	}
 	if TriplesPerCompare != 124 {
 		t.Fatalf("TriplesPerCompare = %d, want 124", TriplesPerCompare)

@@ -25,9 +25,9 @@ func (r *recordingConn) Send(to int, data []byte) error {
 }
 
 // runRecorded executes one comparison over an in-memory mesh with party 0's
-// outgoing frames recorded. Dealer and party randomness come from the given
-// seeds so runs are independently randomized.
-func runRecorded(t *testing.T, diffs []int64, dealerSeed, rngSeed uint64) (bool, [][]byte) {
+// outgoing frames recorded. The dealer seed determines the masking
+// randomness, so different seeds give independently masked runs.
+func runRecorded(t *testing.T, diffs []int64, dealerSeed uint64) (bool, [][]byte) {
 	t.Helper()
 	n := len(diffs)
 	mem := transport.NewMem(n)
@@ -44,8 +44,7 @@ func runRecorded(t *testing.T, diffs []int64, dealerSeed, rngSeed uint64) (bool,
 			if p == 0 {
 				conn = rec
 			}
-			rng := rand.New(rand.NewPCG(rngSeed+uint64(p), uint64(p)+9))
-			results[p], errs[p] = RunCompareParty(conn, rng, diffs[p], &tuples[p])
+			results[p], errs[p] = RunCompareParty(conn, diffs[p], &tuples[p])
 		}(p)
 	}
 	wg.Wait()
@@ -68,8 +67,8 @@ func runRecorded(t *testing.T, diffs []int64, dealerSeed, rngSeed uint64) (bool,
 // an observer of one run learns nothing about the inputs.
 func TestTranscriptIsMasked(t *testing.T) {
 	diffs := []int64{123456, -99999, -30000}
-	res1, sent1 := runRecorded(t, diffs, 1, 100)
-	res2, sent2 := runRecorded(t, diffs, 2, 200)
+	res1, sent1 := runRecorded(t, diffs, 1)
+	res2, sent2 := runRecorded(t, diffs, 2)
 	if res1 != res2 {
 		t.Fatal("same inputs produced different comparison results")
 	}
@@ -98,12 +97,13 @@ func TestTranscriptIsMasked(t *testing.T) {
 	}
 }
 
-// TestInputSharesDoNotRevealInput: the shares party 0 sends in round 1 must
-// not equal its input, and must change across runs.
+// TestInputSharesDoNotRevealInput: the fused masked opening party 0 sends in
+// round 1 is m = d_0 + r_0; it must not equal the raw input, and must change
+// across runs (r_0 is a fresh uniform mask per dealer stream).
 func TestInputSharesDoNotRevealInput(t *testing.T) {
 	diffs := []int64{424242, 0, 0}
-	_, sent1 := runRecorded(t, diffs, 3, 300)
-	_, sent2 := runRecorded(t, diffs, 4, 400)
+	_, sent1 := runRecorded(t, diffs, 3)
+	_, sent2 := runRecorded(t, diffs, 4)
 	// Round 1 frames are the first n-1 sends, 8 bytes each.
 	for i := 0; i < 2; i++ {
 		v1 := getU64(sent1[i])
@@ -112,7 +112,7 @@ func TestInputSharesDoNotRevealInput(t *testing.T) {
 			t.Fatal("raw input appeared on the wire")
 		}
 		if v1 == v2 {
-			t.Fatal("input shares did not change across runs")
+			t.Fatal("masked openings did not change across runs")
 		}
 	}
 }
@@ -120,16 +120,16 @@ func TestInputSharesDoNotRevealInput(t *testing.T) {
 // TestComparisonResultDataIndependentCost: the wire cost must not depend on
 // the input values (data-obliviousness — a cost side channel would leak).
 func TestComparisonResultDataIndependentCost(t *testing.T) {
-	count := func(diffs []int64) int {
-		_, sent := runRecorded(t, diffs, 5, 500)
+	count := func(diffs []int64, seed uint64) int {
+		_, sent := runRecorded(t, diffs, seed)
 		total := 0
 		for _, f := range sent {
 			total += len(f)
 		}
 		return total
 	}
-	a := count([]int64{0, 0, 0})
-	b := count([]int64{1 << 44, -(1 << 44), 12345})
+	a := count([]int64{0, 0, 0}, 5)
+	b := count([]int64{1 << 44, -(1 << 44), 12345}, 6)
 	if a != b {
 		t.Fatalf("wire bytes depend on inputs: %d vs %d", a, b)
 	}
@@ -163,8 +163,7 @@ func TestProtocolOverRealTCP(t *testing.T) {
 				return
 			}
 			defer conn.Close()
-			rng := rand.New(rand.NewPCG(uint64(p)+50, 1))
-			results[p], errs[p] = RunCompareParty(conn, rng, diffs[p], &tuples[p])
+			results[p], errs[p] = RunCompareParty(conn, diffs[p], &tuples[p])
 		}(p)
 	}
 	wg.Wait()
@@ -221,9 +220,8 @@ func TestProtocolManyComparisonsOverTCP(t *testing.T) {
 				return
 			}
 			defer conn.Close()
-			prng := rand.New(rand.NewPCG(uint64(p)+60, 2))
 			for r := 0; r < rounds; r++ {
-				got, err := RunCompareParty(conn, prng, inputs[r][p], &batches[r][p])
+				got, err := RunCompareParty(conn, inputs[r][p], &batches[r][p])
 				if err != nil {
 					errs[p] = err
 					return

@@ -6,13 +6,18 @@
 // edaBits optimization. This package substitutes a from-scratch protocol with
 // the same online structure (see DESIGN.md):
 //
-//  1. every party additively shares its input difference (1 round),
-//  2. the sum D is opened masked as C = D + R for a random ring element R
-//     whose bit decomposition is XOR-shared among the parties (1 round),
-//  3. the borrow of the subtraction C − R is evaluated with a log-depth
+//  1. the sum D of the parties' input differences — which already form an
+//     additive sharing of D — is opened masked as C = D + R for a random
+//     ring element R whose bit decomposition is XOR-shared among the
+//     parties (1 round; each party broadcasts d_p + r_p),
+//  2. the borrow of the subtraction C − R is evaluated with a log-depth
 //     binary tree of carry-combine gates over the shared bits, each level
 //     batching its AND gates through Beaver bit triples (log₂(k) rounds),
-//  4. the resulting comparison bit — and nothing else — is opened (1 round).
+//  3. the resulting comparison bit — and nothing else — is opened (1 round).
+//
+// The batched variant (CompareBatch) additionally word-packs the circuits of
+// up to 64 comparison instances into shared machine-word lanes (see pack.go),
+// so one frame carries a whole frontier's worth of masked bits per round.
 //
 // The correlated randomness (R, its bit shares, and the bit triples) comes
 // from a preprocessing Dealer, modelling MP-SPDZ's offline phase. Inputs and
