@@ -25,6 +25,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,12 @@ type rowKey struct {
 	batched bool
 }
 
+// errSkip marks a well-formed report of a different experiment (e.g. the
+// large-graph tier's BENCH_large.json): not an error, just not gated here.
+type errSkip struct{ experiment string }
+
+func (e errSkip) Error() string { return fmt.Sprintf("experiment %q is not gated", e.experiment) }
+
 func load(path string) (map[rowKey]expr.BuildBenchRow, []rowKey, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -47,6 +54,9 @@ func load(path string) (map[rowKey]expr.BuildBenchRow, []rowKey, error) {
 	var rep expr.BuildBenchReport
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Experiment != "" && rep.Experiment != "index-build" {
+		return nil, nil, errSkip{rep.Experiment}
 	}
 	rows := make(map[rowKey]expr.BuildBenchRow, len(rep.Rows))
 	var order []rowKey
@@ -72,13 +82,11 @@ func main() {
 
 	base, order, err := load(*basePath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(1)
+		exitLoad(*basePath, err)
 	}
 	cur, _, err := load(*curPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(1)
+		exitLoad(*curPath, err)
 	}
 
 	var b strings.Builder
@@ -160,6 +168,19 @@ func main() {
 	if len(failures) > 0 {
 		os.Exit(1)
 	}
+}
+
+// exitLoad terminates on a load failure: an errSkip (a report from another
+// experiment, e.g. BENCH_large.json) is a clean pass — the gate only judges
+// index-build reports — while anything else is a hard error.
+func exitLoad(path string, err error) {
+	var skip errSkip
+	if errors.As(err, &skip) {
+		fmt.Printf("benchgate: %s: %v — ignored\n", path, err)
+		os.Exit(0)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(1)
 }
 
 func ratioDelta(cur, base float64) float64 {

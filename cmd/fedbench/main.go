@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fedbench [flags] all|fig1|tab1|fig7|fig8|fig9|tab2|fig10|fig11|fig12|ablate|bench
+//	fedbench [flags] all|fig1|tab1|fig7|fig8|fig9|tab2|fig10|fig11|fig12|ablate|bench|large
 //
 // Examples:
 //
@@ -12,6 +12,14 @@
 //	fedbench -datasets CAL-S fig7      # one dataset
 //	fedbench -max-vertices 2000 all    # scaled-down quick run
 //	fedbench -json BENCH_run.json bench  # machine-readable percentile report
+//	fedbench -graph usa.frgb large     # scale tier on an imported network
+//
+// -graph loads an imported network (cmd/import-dimacs output, binary or
+// text): with large it is the measured subject; with any other experiment it
+// joins the dataset list. The large experiment is the opt-in scale tier for
+// ≥10^6-vertex graphs — snapshot load time and peak heap vs CSR size,
+// landmark precompute at workers={1,N}, plaintext query throughput — and
+// writes BENCH_large.json.
 //
 // The bench experiment runs the comparative sweep and emits a JSON report
 // (per-configuration latency percentiles plus mean Fed-SAC/round/byte
@@ -29,12 +37,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/graph"
 	"repro/internal/mpc"
 	"repro/internal/traffic"
 )
@@ -52,13 +62,15 @@ func main() {
 		protocol  = flag.Bool("protocol", false, "run the full MPC protocol instead of the calibrated ideal mode")
 		latency   = flag.Duration("latency", 200*time.Microsecond, "modeled one-way network latency")
 		bandwidth = flag.Float64("bandwidth", 1e9, "modeled bandwidth in bytes/s")
-		jsonOut   = flag.String("json", "", "write a machine-readable BENCH_*.json report (bench, fig7, fig8)")
+		jsonOut   = flag.String("json", "", "write a machine-readable BENCH_*.json report (bench, fig7, fig8, large)")
 		index     = flag.Bool("index", false, "with bench: benchmark index construction (sequential vs parallel) instead of the query sweep")
 		profile   = flag.String("profile", "", "write CPU and heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
+		graphFile = flag.String("graph", "", "bench an imported graph file (binary snapshot or text) alongside/instead of the synthetic datasets")
+		workers   = flag.Int("workers", 0, "with large: parallel precompute workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fedbench [flags] all|fig1|tab1|fig7|fig8|fig9|tab2|fig10|fig11|fig12|ablate|bench")
+		fmt.Fprintln(os.Stderr, "usage: fedbench [flags] all|fig1|tab1|fig7|fig8|fig9|tab2|fig10|fig11|fig12|ablate|bench|large")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -81,8 +93,57 @@ func main() {
 	if *protocol {
 		mode = mpc.ModeProtocol
 	}
+
+	// The large tier loads the graph itself (it times the load); every other
+	// experiment gets an imported -graph file injected as an extra dataset.
+	if flag.Arg(0) == "large" {
+		rep, err := expr.RunLargeBench(expr.LargeBenchConfig{
+			Path:      *graphFile,
+			Silos:     *silos,
+			Landmarks: *landmarks,
+			Queries:   *queries,
+			Workers:   *workers,
+			Seed:      *seed,
+			Level:     lvl,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Print(os.Stdout)
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_large.json"
+		}
+		if err := rep.WriteFile(out); err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", out)
+		return
+	}
+	dsList := strings.Split(*datasets, ",")
+	var external *expr.ExternalDataset
+	if *graphFile != "" {
+		g, w0, err := graph.LoadFile(*graphFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+			os.Exit(1)
+		}
+		if w0 == nil {
+			w0 = make(graph.Weights, g.NumArcs())
+			for a := range w0 {
+				w0[a] = 1
+			}
+		}
+		name := filepath.Base(*graphFile)
+		external = &expr.ExternalDataset{Name: name, G: g, W0: w0}
+		dsList = append(dsList, name)
+		fmt.Printf("loaded %s: %d vertices, %d arcs\n", name, g.NumVertices(), g.NumArcs())
+	}
+
 	h := expr.New(expr.Config{
-		Datasets:        strings.Split(*datasets, ","),
+		Datasets:        dsList,
 		Silos:           *silos,
 		Level:           lvl,
 		QueriesPerGroup: *queries,
@@ -92,6 +153,7 @@ func main() {
 		Mode:            mode,
 		Net:             mpc.NetworkModel{Latency: *latency, Bandwidth: *bandwidth},
 		MaxVertices:     *maxV,
+		External:        external,
 		Out:             os.Stdout,
 	})
 

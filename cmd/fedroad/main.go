@@ -30,7 +30,7 @@ func main() {
 	var (
 		dataset   = flag.String("dataset", "", "named dataset (CAL-S, BJ-S, FLA-S)")
 		n         = flag.Int("n", 1000, "generated network size when no dataset/graph is given")
-		graphFile = flag.String("graph", "", "load a road network from a DIMACS-like file")
+		graphFile = flag.String("graph", "", "load a road network from a file (binary snapshot or DIMACS-like text)")
 		silos     = flag.Int("silos", 3, "number of data silos")
 		level     = flag.String("level", "moderate", "congestion level: free|slight|moderate|heavy")
 		seed      = flag.Uint64("seed", 1, "random seed")
@@ -55,11 +55,14 @@ func main() {
 	var w0 fedroad.Weights
 	switch {
 	case *graphFile != "":
-		f, err := os.Open(*graphFile)
+		g, w0, err = fedroad.LoadGraphFile(*graphFile)
 		fail(err)
-		g, w0, err = fedroad.LoadGraph(f)
-		f.Close()
-		fail(err)
+		if w0 == nil { // weightless snapshot: unit weights
+			w0 = make(fedroad.Weights, g.NumArcs())
+			for a := range w0 {
+				w0[a] = 1
+			}
+		}
 	case *dataset != "":
 		g, w0, _ = graph.GenerateDataset(*dataset)
 	default:

@@ -26,7 +26,8 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
 		dataset  = flag.String("dataset", "", "named dataset (CAL-S, BJ-S, FLA-S)")
-		n        = flag.Int("n", 2000, "generated network size when no dataset is given")
+		graphF   = flag.String("graph", "", "serve an imported graph file (binary snapshot or text)")
+		n        = flag.Int("n", 2000, "generated network size when no dataset/graph is given")
 		silos    = flag.Int("silos", 3, "number of data silos")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		noIndex  = flag.Bool("no-index", false, "skip building the shortcut index")
@@ -45,9 +46,23 @@ func main() {
 
 	var g *fedroad.Graph
 	var w0 fedroad.Weights
-	if *dataset != "" {
+	switch {
+	case *graphF != "":
+		var err error
+		g, w0, err = fedroad.LoadGraphFile(*graphF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
+			os.Exit(1)
+		}
+		if w0 == nil {
+			w0 = make(fedroad.Weights, g.NumArcs())
+			for a := range w0 {
+				w0[a] = 1
+			}
+		}
+	case *dataset != "":
 		g, w0, _ = graph.GenerateDataset(*dataset)
-	} else {
+	default:
 		g, w0 = fedroad.GenerateRoadNetwork(*n, *seed)
 	}
 	silosW := fedroad.SimulateCongestion(w0, *silos, fedroad.Moderate, *seed+1)

@@ -88,7 +88,7 @@ func (h *Harness) RunLandmarkAblation(sizes []int) ([]LandmarkRow, error) {
 		if k > env.G.NumVertices()/2 {
 			k = env.G.NumVertices() / 2
 		}
-		lm := lb.PrecomputeLandmarks(env.Fed, lb.SelectLandmarks(env.G, env.W0, k, h.cfg.Seed))
+		lm := lb.PrecomputeLandmarks(env.Fed, lb.SelectLandmarks(env.G, env.W0, k, h.cfg.Seed), 0)
 		opt := core.Options{Index: env.Index, Estimator: lb.FedALTMax, Landmarks: lm, Queue: pq.KindTMTree}
 		var all []QueryMetrics
 		for _, grp := range groups {

@@ -39,8 +39,19 @@ type Config struct {
 	Seed            uint64        // default 1
 	Mode            mpc.Mode      // default ModeIdeal (exact cost accounting)
 	Net             mpc.NetworkModel
-	MaxVertices     int       // 0 = full scale; tests pass a small cap
-	Out             io.Writer // default os.Stdout
+	MaxVertices     int              // 0 = full scale; tests pass a small cap
+	External        *ExternalDataset // pre-loaded network injected under its own name
+	Out             io.Writer        // default os.Stdout
+}
+
+// ExternalDataset injects a pre-loaded road network — typically a DIMACS
+// import loaded from a binary snapshot — into the harness under the given
+// name, so imported networks bench alongside the synthetic datasets. The
+// graph is used as-is: MaxVertices does not apply to it.
+type ExternalDataset struct {
+	Name string
+	G    *graph.Graph
+	W0   graph.Weights
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +115,16 @@ type Env struct {
 
 // generate materializes a dataset topology, honoring the MaxVertices cap.
 func (h *Harness) generate(name string) (*graph.Graph, graph.Weights, graph.DatasetSpec) {
+	if ext := h.cfg.External; ext != nil && ext.Name == name {
+		spec := graph.DatasetSpec{
+			Name:      name,
+			Region:    "external",
+			Vertices:  ext.G.NumVertices(),
+			Generator: "external",
+			Seed:      1,
+		}
+		return ext.G, ext.W0, spec
+	}
 	spec := specFor(name)
 	if h.cfg.MaxVertices > 0 && spec.Vertices > h.cfg.MaxVertices {
 		spec.Vertices = h.cfg.MaxVertices
@@ -166,7 +187,7 @@ func (h *Harness) envFor(name string, silos int, tag string) (*Env, error) {
 	if k > g.NumVertices()/2 {
 		k = g.NumVertices() / 2
 	}
-	env.LM = lb.PrecomputeLandmarks(f, lb.SelectLandmarks(g, w0, k, h.cfg.Seed))
+	env.LM = lb.PrecomputeLandmarks(f, lb.SelectLandmarks(g, w0, k, h.cfg.Seed), 0)
 	h.envs[key] = env
 	return env, nil
 }

@@ -1,0 +1,216 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/lb"
+	"repro/internal/peakmem"
+	"repro/internal/traffic"
+)
+
+// The large-graph bench tier characterizes the ingestion-and-scale layer on
+// continent-sized networks (≥10^6 vertices): snapshot load time and peak
+// memory against the resident CSR size, landmark precompute at workers=1
+// versus parallel, and plaintext point-to-point query throughput. It is
+// deliberately federation-free — MPC index construction at this scale is a
+// different (open) work item — so the numbers isolate the load path.
+
+// LargeBenchConfig configures RunLargeBench. Zero values select defaults.
+type LargeBenchConfig struct {
+	Path      string        // graph file (binary snapshot or text format); required
+	Silos     int           // default 3
+	Landmarks int           // default 8
+	Queries   int           // default 10
+	Workers   int           // parallel precompute workers; default GOMAXPROCS
+	Seed      uint64        // default 1
+	Level     traffic.Level // default Moderate
+	Out       io.Writer     // default os.Stdout
+}
+
+// LargeBenchReport is the BENCH_large.json document, one per graph.
+type LargeBenchReport struct {
+	Experiment string `json:"experiment"` // "large"
+	Graph      string `json:"graph"`
+	Vertices   int    `json:"vertices"`
+	Arcs       int    `json:"arcs"`
+
+	// Load path: wall time, resident CSR footprint (adjacency + reverse +
+	// weights + coordinates) and the peak live heap while loading. The
+	// ratio is the ingestion memory budget the importer promises (~≤2×).
+	LoadMs        float64 `json:"load_ms"`
+	CSRBytes      int64   `json:"csr_bytes"`
+	LoadPeakBytes int64   `json:"load_peak_bytes"`
+	LoadPeakRatio float64 `json:"load_peak_ratio"`
+
+	// Landmark precompute: sequential vs parallel over the same landmark
+	// set and silo weights.
+	Landmarks         int     `json:"landmarks"`
+	Silos             int     `json:"silos"`
+	SelectMs          float64 `json:"select_ms"`
+	PrecomputeW1Ms    float64 `json:"precompute_w1_ms"`
+	PrecomputeWnMs    float64 `json:"precompute_wn_ms"`
+	PrecomputeWorkers int     `json:"precompute_workers"`
+	ParallelSpeedup   float64 `json:"parallel_speedup"`
+
+	// Plaintext query throughput on the joint weights.
+	Queries       int     `json:"queries"`
+	QueryMeanMs   float64 `json:"query_mean_ms"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+}
+
+func (c LargeBenchConfig) withDefaults() LargeBenchConfig {
+	if c.Silos == 0 {
+		c.Silos = 3
+	}
+	if c.Landmarks == 0 {
+		c.Landmarks = 8
+	}
+	if c.Queries == 0 {
+		c.Queries = 10
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Level.Name == "" {
+		c.Level = traffic.Moderate
+	}
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	return c
+}
+
+// RunLargeBench loads the graph at cfg.Path and measures the scale tier.
+func RunLargeBench(cfg LargeBenchConfig) (*LargeBenchReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Path == "" {
+		return nil, fmt.Errorf("expr: large bench needs a -graph file")
+	}
+	rep := &LargeBenchReport{
+		Experiment: "large",
+		Graph:      cfg.Path,
+		Landmarks:  cfg.Landmarks,
+		Silos:      cfg.Silos,
+		Queries:    cfg.Queries,
+	}
+
+	// Load under a peak-heap sampler. The GC settles the pre-load heap so
+	// the peak is attributable to the load itself.
+	runtime.GC()
+	tracker := peakmem.Start(0)
+	start := time.Now()
+	g, w, err := graph.LoadFile(cfg.Path)
+	if err != nil {
+		return nil, err
+	}
+	rep.LoadMs = float64(time.Since(start).Microseconds()) / 1000
+	rep.LoadPeakBytes = int64(tracker.Stop())
+	if w == nil {
+		// Weightless snapshot: fall back to unit weights (after the peak
+		// sample — they are not part of the load).
+		w = make(graph.Weights, g.NumArcs())
+		for a := range w {
+			w[a] = 1
+		}
+	}
+	rep.Vertices, rep.Arcs = g.NumVertices(), g.NumArcs()
+	rep.CSRBytes = g.MemoryFootprint() + int64(8*len(w))
+	if rep.CSRBytes > 0 {
+		rep.LoadPeakRatio = float64(rep.LoadPeakBytes) / float64(rep.CSRBytes)
+	}
+
+	k := cfg.Landmarks
+	if k > g.NumVertices()/2 {
+		k = g.NumVertices() / 2
+		if k < 1 {
+			k = 1
+		}
+		rep.Landmarks = k
+	}
+	start = time.Now()
+	landmarks := lb.SelectLandmarks(g, w, k, cfg.Seed)
+	rep.SelectMs = float64(time.Since(start).Microseconds()) / 1000
+
+	sets := traffic.SiloWeights(w, cfg.Silos, cfg.Level, cfg.Seed)
+	start = time.Now()
+	lb.Precompute(g, w, sets, landmarks, 1)
+	rep.PrecomputeW1Ms = float64(time.Since(start).Microseconds()) / 1000
+	runtime.GC() // drop the sequential result before the parallel run
+	rep.PrecomputeWorkers = cfg.Workers
+	start = time.Now()
+	lb.Precompute(g, w, sets, landmarks, cfg.Workers)
+	rep.PrecomputeWnMs = float64(time.Since(start).Microseconds()) / 1000
+	if rep.PrecomputeWnMs > 0 {
+		rep.ParallelSpeedup = rep.PrecomputeW1Ms / rep.PrecomputeWnMs
+	}
+	runtime.GC()
+
+	// Plaintext point-to-point queries on the joint weights.
+	joint := graph.JointWeights(sets)
+	rng := rand.New(rand.NewPCG(cfg.Seed*31, cfg.Seed^0xa076_1d64_78bd_642f))
+	n := g.NumVertices()
+	var total time.Duration
+	for q := 0; q < cfg.Queries; q++ {
+		s := graph.Vertex(rng.IntN(n))
+		t := graph.Vertex(rng.IntN(n))
+		start = time.Now()
+		graph.DijkstraTo(g, joint, s, t)
+		total += time.Since(start)
+	}
+	if cfg.Queries > 0 {
+		rep.QueryMeanMs = float64(total.Microseconds()) / 1000 / float64(cfg.Queries)
+		if total > 0 {
+			rep.QueriesPerSec = float64(cfg.Queries) / total.Seconds()
+		}
+	}
+	return rep, nil
+}
+
+// Print renders the report as the human-readable table.
+func (r *LargeBenchReport) Print(out io.Writer) {
+	fmt.Fprintf(out, "Large-graph bench — %s\n\n", r.Graph)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "vertices\t%d\n", r.Vertices)
+	fmt.Fprintf(tw, "arcs\t%d\n", r.Arcs)
+	fmt.Fprintf(tw, "load\t%s\n", fmtDuration(time.Duration(r.LoadMs*float64(time.Millisecond))))
+	fmt.Fprintf(tw, "CSR bytes\t%s\n", fmtBytes(r.CSRBytes))
+	fmt.Fprintf(tw, "load peak heap\t%s (%.2fx CSR)\n", fmtBytes(r.LoadPeakBytes), r.LoadPeakRatio)
+	fmt.Fprintf(tw, "landmark select (k=%d)\t%s\n", r.Landmarks, fmtDuration(time.Duration(r.SelectMs*float64(time.Millisecond))))
+	fmt.Fprintf(tw, "precompute workers=1\t%s\n", fmtDuration(time.Duration(r.PrecomputeW1Ms*float64(time.Millisecond))))
+	fmt.Fprintf(tw, "precompute workers=%d\t%s (%.2fx speedup)\n", r.PrecomputeWorkers,
+		fmtDuration(time.Duration(r.PrecomputeWnMs*float64(time.Millisecond))), r.ParallelSpeedup)
+	fmt.Fprintf(tw, "queries (plaintext)\t%d, mean %s, %.2f/s\n", r.Queries,
+		fmtDuration(time.Duration(r.QueryMeanMs*float64(time.Millisecond))), r.QueriesPerSec)
+	tw.Flush()
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *LargeBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *LargeBenchReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("expr: large bench report: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("expr: large bench report: %w", err)
+	}
+	return f.Close()
+}

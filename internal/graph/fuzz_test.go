@@ -118,3 +118,58 @@ func TestJointWeightsLinearity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// FuzzReadBinary hardens the binary snapshot decoder: arbitrary bytes must
+// either decode into a structurally valid graph that survives a re-encode
+// round trip, or fail cleanly — never panic, never over-allocate from a
+// forged header (dimension plausibility is checked before allocation).
+func FuzzReadBinary(f *testing.F) {
+	seed := func(g *Graph, w Weights) {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g, w); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	g, w := GenerateRandomDirected(12, 40, 1000, 4)
+	seed(g, w)
+	seed(g, nil)
+	gc, wc := GenerateRoadLike(30, 8)
+	seed(gc, wc)
+	f.Add([]byte("FEDROADG"))
+	f.Add([]byte("not a snapshot"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		g, w, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if w != nil && len(w) != g.NumArcs() {
+			t.Fatalf("parsed %d arcs but %d weights", g.NumArcs(), len(w))
+		}
+		for a := 0; a < g.NumArcs(); a++ {
+			u, v := g.Tail(Arc(a)), g.Head(Arc(a))
+			if u < 0 || int(u) >= g.NumVertices() || v < 0 || int(v) >= g.NumVertices() {
+				t.Fatalf("arc %d endpoints out of range", a)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g, w); err != nil {
+			t.Fatal(err)
+		}
+		g2, w2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted snapshot failed: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumArcs() != g.NumArcs() {
+			t.Fatalf("round trip changed shape")
+		}
+		for a := 0; a < g.NumArcs(); a++ {
+			if g2.Tail(Arc(a)) != g.Tail(Arc(a)) || g2.Head(Arc(a)) != g.Head(Arc(a)) {
+				t.Fatalf("round trip changed arc %d", a)
+			}
+			if w != nil && w2[a] != w[a] {
+				t.Fatalf("round trip changed weight %d", a)
+			}
+		}
+	})
+}

@@ -194,6 +194,122 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// CSRBuilder assembles a Graph directly in its final CSR layout with two
+// passes — count out-degrees, then place arcs — so peak memory during bulk
+// construction is the finished arrays themselves plus one cursor slice.
+// Builder stays the convenient API for small or incremental topologies;
+// CSRBuilder is the ingestion path (DIMACS import, binary snapshots) where
+// Builder's staging copies and sort would triple the footprint.
+//
+// Usage: NewCSRBuilder(n) → Count(u) once per arc → FinishCount() →
+// Place(u, v, w) once per arc → Finish(). Arcs with the same tail receive
+// IDs in Place order, matching Builder's stable-within-tail rule, so a
+// Count/Place sequence in file order reproduces Builder.Build exactly.
+type CSRBuilder struct {
+	n       int
+	off     []int32
+	dst     []Vertex
+	tail    []Vertex
+	w       []int64
+	pos     []int32
+	counted int
+	placed  int
+	x, y    []float64
+}
+
+// NewCSRBuilder starts a two-pass build for a graph with n vertices.
+func NewCSRBuilder(n int) *CSRBuilder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &CSRBuilder{n: n, off: make([]int32, n+1)}
+}
+
+// Count registers one arc with tail u (pass one).
+func (b *CSRBuilder) Count(u Vertex) {
+	if u < 0 || int(u) >= b.n {
+		panic(fmt.Sprintf("graph: tail %d out of range [0,%d)", u, b.n))
+	}
+	b.off[u+1]++
+	b.counted++
+}
+
+// FinishCount turns the degree counts into CSR offsets and allocates the
+// arc arrays. Call exactly once, after the counting pass.
+func (b *CSRBuilder) FinishCount() {
+	if b.dst != nil {
+		panic("graph: FinishCount called twice")
+	}
+	for v := 0; v < b.n; v++ {
+		b.off[v+1] += b.off[v]
+	}
+	m := b.counted
+	b.dst = make([]Vertex, m)
+	b.tail = make([]Vertex, m)
+	b.w = make([]int64, m)
+	b.pos = make([]int32, b.n)
+	copy(b.pos, b.off[:b.n])
+}
+
+// Place stores one arc u→v with weight wt into its CSR slot (pass two).
+// Every arc counted in pass one must be placed exactly once.
+func (b *CSRBuilder) Place(u, v Vertex, wt int64) {
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: arc (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	slot := b.pos[u]
+	if slot >= b.off[u+1] {
+		panic(fmt.Sprintf("graph: more arcs placed for tail %d than counted", u))
+	}
+	b.pos[u] = slot + 1
+	b.dst[slot] = v
+	b.tail[slot] = u
+	b.w[slot] = wt
+	b.placed++
+}
+
+// SetCoordinates records planar coordinates for all vertices; len(x) and
+// len(y) must equal the vertex count.
+func (b *CSRBuilder) SetCoordinates(x, y []float64) {
+	if len(x) != b.n || len(y) != b.n {
+		panic(fmt.Sprintf("graph: coordinates length %d,%d != vertex count %d", len(x), len(y), b.n))
+	}
+	b.x, b.y = x, y
+}
+
+// Finish validates the two passes matched and produces the immutable graph
+// plus the weight set aligned to its arc IDs. The builder must not be
+// reused afterwards.
+func (b *CSRBuilder) Finish() (*Graph, Weights, error) {
+	if b.dst == nil {
+		return nil, nil, fmt.Errorf("graph: Finish before FinishCount")
+	}
+	if b.placed != b.counted {
+		return nil, nil, fmt.Errorf("graph: counted %d arcs but placed %d", b.counted, b.placed)
+	}
+	b.pos = nil // release cursors before the reverse arrays allocate
+	g := &Graph{
+		numV: b.n,
+		off:  b.off,
+		dst:  b.dst,
+		tail: b.tail,
+		x:    b.x,
+		y:    b.y,
+	}
+	g.buildReverse()
+	return g, b.w, nil
+}
+
+// MemoryFootprint reports the resident bytes of the graph's CSR arrays
+// (forward and reverse adjacency plus coordinates). Weight sets are
+// external and cost 8 bytes per arc each on top of this.
+func (g *Graph) MemoryFootprint() int64 {
+	b := int64(len(g.off))*4 + int64(len(g.dst))*4 + int64(len(g.tail))*4
+	b += int64(len(g.roff))*4 + int64(len(g.rsrc))*4 + int64(len(g.rarc))*4
+	b += int64(len(g.x))*8 + int64(len(g.y))*8
+	return b
+}
+
 func (g *Graph) buildReverse() {
 	m := len(g.dst)
 	g.roff = make([]int32, g.numV+1)

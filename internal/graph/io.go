@@ -13,6 +13,8 @@ import (
 //	p sp <numVertices> <numArcs>
 //	v <id> <x> <y>          (one per vertex, only when coordinates exist)
 //	a <tail> <head> <weight> (one per arc, in arc-ID order; weight 0 if w nil)
+//
+// Vertex IDs are written 0-based (ReadFrom accepts both 0- and 1-based).
 func WriteTo(wr io.Writer, g *Graph, w Weights) error {
 	bw := bufio.NewWriter(wr)
 	if _, err := fmt.Fprintf(bw, "p sp %d %d\n", g.NumVertices(), g.NumArcs()); err != nil {
@@ -37,22 +39,40 @@ func WriteTo(wr io.Writer, g *Graph, w Weights) error {
 	return bw.Flush()
 }
 
-// ReadFrom parses the format written by WriteTo. Arc IDs in the returned
-// graph match line order of the "a" records, so the returned weight set is
-// aligned. Comment lines starting with "c" are ignored, making standard
-// DIMACS .gr files loadable (with 0-based vertex IDs).
+// ReadFrom parses the format written by WriteTo as well as standard
+// 9th-DIMACS-challenge .gr files. Arc IDs in the returned graph match line
+// order of the "a" records, so the returned weight set is aligned.
+//
+// The problem-line kind must be "sp". Comment lines starting with "c" are
+// ignored. Vertex IDs may be 0-based (this repo's format) or 1-based (the
+// DIMACS convention); the base is auto-detected: any reference to id n
+// (with n the declared vertex count) marks the input 1-based, referencing
+// both 0 and n is an error, and inputs touching neither extreme parse as
+// 0-based for round-trip compatibility with WriteTo.
+//
+// The parse is memory-lean: arcs stream into exact-size columnar staging
+// (the problem line declares the count) and the CSR arrays are built with a
+// counting two-pass instead of a sort, so peak memory is O(final CSR)
+// rather than the ~3× of a buffer-and-sort path.
 func ReadFrom(rd io.Reader) (*Graph, Weights, error) {
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var b *Builder
-	var xs, ys []float64
-	var haveCoord bool
-	type rec struct {
-		u, v Vertex
-		w    int64
-	}
-	var arcs []rec
 	n, m := -1, -1
+	var havep bool
+	var tails, heads []int32 // raw (unshifted) endpoint ids, exact-size
+	var wts []int64
+	var xs, ys []float64 // raw-id indexed, length n+1 to admit 1-based ids
+	var haveCoord bool
+	narcs := 0
+	minID, maxID := int32(1<<30), int32(-1)
+	seen := func(id int32) {
+		if id < minID {
+			minID = id
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "c") {
@@ -64,27 +84,34 @@ func ReadFrom(rd io.Reader) (*Graph, Weights, error) {
 			if _, err := fmt.Sscanf(line, "p %s %d %d", &kind, &n, &m); err != nil {
 				return nil, nil, fmt.Errorf("graph: bad problem line %q: %w", line, err)
 			}
-			if n < 0 || m < 0 || n > 1<<28 {
+			if kind != "sp" {
+				return nil, nil, fmt.Errorf("graph: problem kind %q, want \"sp\"", kind)
+			}
+			if n < 0 || m < 0 || n > 1<<28 || m > 1<<30 {
 				return nil, nil, fmt.Errorf("graph: implausible problem line %q", line)
 			}
-			if b != nil {
+			if havep {
 				return nil, nil, fmt.Errorf("graph: duplicate problem line")
 			}
-			b = NewBuilder(n)
-			xs = make([]float64, n)
-			ys = make([]float64, n)
+			havep = true
+			tails = make([]int32, m)
+			heads = make([]int32, m)
+			wts = make([]int64, m)
+			xs = make([]float64, n+1)
+			ys = make([]float64, n+1)
 		case 'v':
 			var id int
 			var x, y float64
 			if _, err := fmt.Sscanf(line, "v %d %g %g", &id, &x, &y); err != nil {
 				return nil, nil, fmt.Errorf("graph: bad vertex line %q: %w", line, err)
 			}
-			if b == nil {
+			if !havep {
 				return nil, nil, fmt.Errorf("graph: vertex before problem line")
 			}
-			if id < 0 || id >= n {
+			if id < 0 || id > n {
 				return nil, nil, fmt.Errorf("graph: vertex id %d out of range", id)
 			}
+			seen(int32(id))
 			xs[id], ys[id] = x, y
 			haveCoord = true
 		case 'a':
@@ -93,13 +120,21 @@ func ReadFrom(rd io.Reader) (*Graph, Weights, error) {
 			if _, err := fmt.Sscanf(line, "a %d %d %d", &u, &v, &wt); err != nil {
 				return nil, nil, fmt.Errorf("graph: bad arc line %q: %w", line, err)
 			}
-			if b == nil {
+			if !havep {
 				return nil, nil, fmt.Errorf("graph: arc before problem line")
 			}
-			if u < 0 || u >= n || v < 0 || v >= n {
-				return nil, nil, fmt.Errorf("graph: arc (%d,%d) out of range [0,%d)", u, v, n)
+			if u < 0 || u > n || v < 0 || v > n {
+				return nil, nil, fmt.Errorf("graph: arc (%d,%d) out of range", u, v)
 			}
-			arcs = append(arcs, rec{Vertex(u), Vertex(v), wt})
+			if narcs >= m {
+				return nil, nil, fmt.Errorf("graph: problem line declares %d arcs, found more", m)
+			}
+			seen(int32(u))
+			seen(int32(v))
+			tails[narcs] = int32(u)
+			heads[narcs] = int32(v)
+			wts[narcs] = wt
+			narcs++
 		default:
 			return nil, nil, fmt.Errorf("graph: unknown record %q", line)
 		}
@@ -107,31 +142,39 @@ func ReadFrom(rd io.Reader) (*Graph, Weights, error) {
 	if err := sc.Err(); err != nil {
 		return nil, nil, err
 	}
-	if b == nil {
+	if !havep {
 		return nil, nil, fmt.Errorf("graph: missing problem line")
 	}
-	if m >= 0 && len(arcs) != m {
-		return nil, nil, fmt.Errorf("graph: problem line declares %d arcs, found %d", m, len(arcs))
+	if narcs != m {
+		return nil, nil, fmt.Errorf("graph: problem line declares %d arcs, found %d", m, narcs)
 	}
-	if haveCoord {
-		b.SetCoordinates(xs, ys)
-	}
-	for _, r := range arcs {
-		b.AddArc(r.u, r.v)
-	}
-	g := b.Build()
-	// Builder may permute arcs into CSR order; re-derive weights by matching
-	// tails/heads in order. Because AddArc order is stable within a tail, the
-	// i-th arc with tail t in file order maps to the i-th CSR slot of t.
-	w := make(Weights, len(arcs))
-	next := make(map[Vertex]Arc, g.NumVertices())
-	for _, r := range arcs {
-		a, ok := next[r.u]
-		if !ok {
-			a = g.FirstOut(r.u)
+
+	// Decide the ID base. An id equal to n can only occur 1-based; an id 0
+	// can only occur 0-based; both at once is malformed input.
+	base := int32(0)
+	if maxID >= 0 && int(maxID) == n {
+		if minID == 0 {
+			return nil, nil, fmt.Errorf("graph: input references both vertex 0 and vertex %d — mixed 0- and 1-based ids", n)
 		}
-		w[a] = r.w
-		next[r.u] = a + 1
+		base = 1
 	}
-	return g, w, nil
+	// With a 0-based input, id n-1 is the maximum; the scan admitted up to n
+	// to defer base detection, so re-check now that the base is known.
+	if base == 0 && n > 0 && int(maxID) >= n {
+		return nil, nil, fmt.Errorf("graph: vertex id %d out of range [0,%d)", maxID, n)
+	}
+
+	csr := NewCSRBuilder(n)
+	for i := 0; i < m; i++ {
+		csr.Count(Vertex(tails[i] - base))
+	}
+	csr.FinishCount()
+	for i := 0; i < m; i++ {
+		csr.Place(Vertex(tails[i]-base), Vertex(heads[i]-base), wts[i])
+	}
+	tails, heads, wts = nil, nil, nil // release staging before the reverse arrays allocate
+	if haveCoord {
+		csr.SetCoordinates(xs[base:int32(n)+base], ys[base:int32(n)+base])
+	}
+	return csr.Finish()
 }

@@ -15,7 +15,9 @@
 package lb
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -101,12 +103,16 @@ func SelectLandmarks(g *graph.Graph, w0 graph.Weights, k int, seed uint64) []gra
 // It reads the silos' live weight sets, so the caller must hold whatever
 // lock guards them for the whole call. For precomputing without blocking
 // traffic updates, snapshot the weights first and use Precompute.
-func PrecomputeLandmarks(f *fed.Federation, landmarks []graph.Vertex) *Landmarks {
+//
+// workers bounds the parallelism of the per-landmark computation; ≤ 0
+// selects one worker per landmark. The result is identical for every
+// worker count.
+func PrecomputeLandmarks(f *fed.Federation, landmarks []graph.Vertex, workers int) *Landmarks {
 	sets := make([]graph.Weights, f.P())
 	for p := range sets {
 		sets[p] = f.Silo(p).Weights()
 	}
-	return Precompute(f.Graph(), f.StaticWeights(), sets, landmarks, 1)
+	return Precompute(f.Graph(), f.StaticWeights(), sets, landmarks, workers)
 }
 
 // Precompute builds the landmark matrices from an explicit weight snapshot
@@ -125,16 +131,18 @@ func Precompute(g *graph.Graph, w0 graph.Weights, siloWeights []graph.Weights, l
 	for s := 0; s < p; s++ {
 		lm.Phi[s] = make([][]int64, len(landmarks))
 	}
-	one := func(li int, l graph.Vertex) {
+	// one computes one landmark's rows. order is per-worker scratch: at
+	// continent scale an n-element slice per landmark is real garbage, so
+	// each worker reuses a single slice across its landmarks.
+	one := func(li int, l graph.Vertex, order []graph.Vertex) {
 		lm.Phi0[li] = graph.DijkstraBackward(g, w0, l).Dist
 		res := graph.DijkstraBackward(g, joint, l)
 		// Partial costs along the joint tree: process vertices in order of
 		// increasing joint distance so successors are resolved first.
-		order := make([]graph.Vertex, n)
 		for v := range order {
 			order[v] = graph.Vertex(v)
 		}
-		sort.Slice(order, func(i, j int) bool { return res.Dist[order[i]] < res.Dist[order[j]] })
+		slices.SortFunc(order, func(a, b graph.Vertex) int { return cmp.Compare(res.Dist[a], res.Dist[b]) })
 		parts := make([][]int64, p)
 		for s := 0; s < p; s++ {
 			parts[s] = make([]int64, n)
@@ -160,8 +168,9 @@ func Precompute(g *graph.Graph, w0 graph.Weights, siloWeights []graph.Weights, l
 		workers = len(landmarks)
 	}
 	if workers <= 1 {
+		order := make([]graph.Vertex, n)
 		for li, l := range landmarks {
-			one(li, l)
+			one(li, l, order)
 		}
 		return lm
 	}
@@ -173,12 +182,13 @@ func Precompute(g *graph.Graph, w0 graph.Weights, siloWeights []graph.Weights, l
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			order := make([]graph.Vertex, n)
 			for {
 				li := int(next.Add(1)) - 1
 				if li >= len(landmarks) {
 					return
 				}
-				one(li, landmarks[li])
+				one(li, landmarks[li], order)
 			}
 		}()
 	}

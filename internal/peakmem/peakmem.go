@@ -1,0 +1,81 @@
+// Package peakmem tracks the peak live-heap size over a region of code by
+// sampling runtime.ReadMemStats from a background goroutine. It exists to
+// verify the ingestion memory budget (import peak ≤ ~2× final CSR size):
+// allocation-site accounting can't see transient peaks, but a sampler at a
+// few-millisecond cadence catches any phase that holds large arrays.
+//
+// ReadMemStats briefly stops the world, so the sampler is for benches and
+// one-shot tools, not steady-state servers (those use expvar counters).
+package peakmem
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Tracker samples the live heap until Stop is called.
+type Tracker struct {
+	interval time.Duration
+	mu       sync.Mutex
+	peak     uint64
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Start begins sampling at the given interval (≤0 selects 5ms). The first
+// sample is taken synchronously so even an instantly-stopped tracker
+// reports the current heap.
+func Start(interval time.Duration) *Tracker {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	t := &Tracker{
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	t.sample()
+	go t.loop()
+	return t
+}
+
+func (t *Tracker) loop() {
+	defer close(t.done)
+	tick := time.NewTicker(t.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			t.sample()
+		}
+	}
+}
+
+func (t *Tracker) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.mu.Lock()
+	if ms.HeapAlloc > t.peak {
+		t.peak = ms.HeapAlloc
+	}
+	t.mu.Unlock()
+}
+
+// Peak returns the largest observed live-heap size so far, in bytes.
+func (t *Tracker) Peak() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peak
+}
+
+// Stop takes a final sample, halts the sampler, and returns the peak.
+// Stop is idempotent only in the sense that it must be called once.
+func (t *Tracker) Stop() uint64 {
+	t.sample()
+	close(t.stop)
+	<-t.done
+	return t.Peak()
+}

@@ -34,14 +34,25 @@ func Levels() []Level { return []Level{Free, Slight, Moderate, Heavy} }
 // SiloWeights generates P private weight sets from the static weights w0
 // under the given congestion level, following §VIII-A: one shared congested
 // subset E_c (|E_c| = Beta·|E|), then P×|E_c| independent θ samples.
-// Deterministic in seed.
+//
+// Determinism contract (v2): the output is a pure function of
+// (w0, p, lvl, seed). The congested subset is drawn by selection sampling
+// (Knuth's Algorithm S) in O(1) extra memory — a USA-scale rng.Perm here
+// cost ~450 MB of transient garbage — which changed the seed→subset
+// mapping relative to v1; committed baselines were regenerated.
 func SiloWeights(w0 graph.Weights, p int, lvl Level, seed uint64) []graph.Weights {
 	rng := rand.New(rand.NewPCG(seed, seed^0x7ed558ccdf1eb5a1))
 	m := len(w0)
 	congested := make([]bool, m)
 	numC := int(math.Round(lvl.Beta * float64(m)))
-	for _, idx := range rng.Perm(m)[:numC] {
-		congested[idx] = true
+	// Selection sampling: arc a is congested with probability
+	// need/(m-a), which yields exactly numC arcs, uniformly.
+	need := numC
+	for a := 0; a < m && need > 0; a++ {
+		if int(rng.Int64N(int64(m-a))) < need {
+			congested[a] = true
+			need--
+		}
 	}
 	sets := make([]graph.Weights, p)
 	for s := range sets {
