@@ -1,0 +1,74 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Reports tagged with another experiment must come back as errSkip — a clean
+// pass, not a gate failure. The soak report is the case that matters: CI
+// uploads BENCH_soak.json next to BENCH_build.json, and a glob that feeds
+// both into benchgate must not fail the build.
+func TestLoadSkipsForeignExperiments(t *testing.T) {
+	for _, exp := range []string{"soak", "large"} {
+		path := writeTemp(t, "r.json", `{"experiment":"`+exp+`","rows":[]}`)
+		_, _, err := load(path)
+		var skip errSkip
+		if !errors.As(err, &skip) {
+			t.Fatalf("experiment %q: err %v, want errSkip", exp, err)
+		}
+		if skip.experiment != exp {
+			t.Fatalf("errSkip names %q, want %q", skip.experiment, exp)
+		}
+	}
+}
+
+func TestLoadAcceptsIndexBuildReports(t *testing.T) {
+	// Both the tagged and the legacy untagged form load.
+	for _, content := range []string{
+		`{"experiment":"index-build","silos":3,"rows":[{"dataset":"CAL-S","workers":1,"batched":true,"mpc_rounds":10}]}`,
+		`{"silos":3,"rows":[{"dataset":"CAL-S","workers":1,"batched":true,"mpc_rounds":10}]}`,
+	} {
+		path := writeTemp(t, "r.json", content)
+		rows, order, err := load(path)
+		if err != nil {
+			t.Fatalf("index-build report rejected: %v", err)
+		}
+		if len(rows) != 1 || len(order) != 1 {
+			t.Fatalf("loaded %d rows, want 1", len(rows))
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := writeTemp(t, "r.json", `{nope`)
+	if _, _, err := load(path); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	var skip errSkip
+	if _, _, err := load(path); errors.As(err, &skip) {
+		t.Fatal("malformed JSON classified as a skippable foreign report")
+	}
+	if _, _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadRejectsDuplicateRows(t *testing.T) {
+	path := writeTemp(t, "r.json",
+		`{"experiment":"index-build","rows":[{"dataset":"CAL-S","workers":1,"batched":true},{"dataset":"CAL-S","workers":1,"batched":true}]}`)
+	if _, _, err := load(path); err == nil {
+		t.Fatal("duplicate rows accepted")
+	}
+}

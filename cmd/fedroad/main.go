@@ -64,6 +64,11 @@ func main() {
 			}
 		}
 	case *dataset != "":
+		// GenerateDataset panics on unknown names; fail with a clean error
+		// for a user-supplied -dataset instead.
+		if _, ok := graph.FindDataset(*dataset); !ok {
+			fail(fmt.Errorf("unknown dataset %q (available: CAL-S, BJ-S, FLA-S)", *dataset))
+		}
 		g, w0, _ = graph.GenerateDataset(*dataset)
 	default:
 		g, w0 = fedroad.GenerateRoadNetwork(*n, *seed)

@@ -1,6 +1,6 @@
 // Command fedserver runs a federated routing service over HTTP: it assembles
-// a traffic data federation, builds the federated shortcut index and serves
-// secure shortest-path, kNN and traffic-update requests.
+// a traffic data federation, builds (or restores) the federated shortcut
+// index and serves secure shortest-path, kNN and traffic-update requests.
 //
 //	fedserver -n 2000 -silos 3 -addr :8080
 //
@@ -8,19 +8,73 @@
 //	curl 'localhost:8080/knn?s=12&k=5'
 //	curl -X POST localhost:8080/traffic -d '[{"silo":0,"arc":17,"travel_ms":90000}]'
 //	curl 'localhost:8080/stats'
+//
+// Serving-tier behavior (see DESIGN.md, "Serving tier"):
+//
+//   - -cache N keeps a traffic-version-keyed LRU of route/kNN results with
+//     request coalescing; a traffic update invalidates it for free.
+//   - -max-queue N sheds queries beyond maxConcurrent+N with 429 +
+//     Retry-After instead of queueing without bound.
+//   - -persist DIR snapshots the full federation state (weights, version,
+//     index) and WAL-logs traffic deltas, so a restart skips the MPC index
+//     rebuild and replays only what the snapshot missed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	fedroad "repro"
 	"repro/internal/graph"
 )
+
+// loadNetwork resolves the served road network from the three mutually
+// layered sources: an imported graph file, a named dataset, or a generated
+// road-like network. unitWeights reports that the graph file carried no
+// weight section and every travel time was fabricated as 1ms — the caller
+// must surface that loudly.
+func loadNetwork(dataset, graphF string, n int, seed uint64) (g *fedroad.Graph, w0 fedroad.Weights, unitWeights bool, err error) {
+	switch {
+	case graphF != "":
+		g, w0, err = fedroad.LoadGraphFile(graphF)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if w0 == nil {
+			w0 = make(fedroad.Weights, g.NumArcs())
+			for a := range w0 {
+				w0[a] = 1
+			}
+			unitWeights = true
+		}
+	case dataset != "":
+		// GenerateDataset panics on unknown names (its callers are experiment
+		// code with hard-wired names); a user-supplied -dataset must fail with
+		// a clean error instead.
+		if _, ok := graph.FindDataset(dataset); !ok {
+			names := ""
+			for i, spec := range graph.Datasets() {
+				if i > 0 {
+					names += ", "
+				}
+				names += spec.Name
+			}
+			return nil, nil, false, fmt.Errorf("unknown dataset %q (available: %s)", dataset, names)
+		}
+		g, w0, _ = graph.GenerateDataset(dataset)
+	default:
+		g, w0 = fedroad.GenerateRoadNetwork(n, seed)
+	}
+	return g, w0, unitWeights, nil
+}
 
 func main() {
 	var (
@@ -34,6 +88,9 @@ func main() {
 		idxWkrs  = flag.Int("index-workers", 0, "contraction workers for the parallel index build (0 = GOMAXPROCS)")
 		protocol = flag.Bool("protocol", false, "run the full MPC protocol per comparison (default: ideal mode with analytic cost accounting)")
 		maxConc  = flag.Int("max-concurrent", 0, "max in-flight queries (0 = 4x GOMAXPROCS)")
+		maxQueue = flag.Int("max-queue", 0, "queries allowed to queue beyond -max-concurrent before shedding with 429 (0 = unbounded queue, no shedding)")
+		cacheCap = flag.Int("cache", 4096, "traffic-version-keyed result cache capacity in entries (0 = off)")
+		persist  = flag.String("persist", "", "directory for state snapshots + traffic WAL; restarts restore the index without an MPC rebuild")
 		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof/* profiling handlers")
 		prepool  = flag.Int("prepool", 0, "preprocessing pool capacity in comparisons (0 = off)")
 		poolWkrs = flag.Int("prepool-workers", 1, "preprocessing pool replenisher goroutines")
@@ -44,26 +101,13 @@ func main() {
 	)
 	flag.Parse()
 
-	var g *fedroad.Graph
-	var w0 fedroad.Weights
-	switch {
-	case *graphF != "":
-		var err error
-		g, w0, err = fedroad.LoadGraphFile(*graphF)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
-			os.Exit(1)
-		}
-		if w0 == nil {
-			w0 = make(fedroad.Weights, g.NumArcs())
-			for a := range w0 {
-				w0[a] = 1
-			}
-		}
-	case *dataset != "":
-		g, w0, _ = graph.GenerateDataset(*dataset)
-	default:
-		g, w0 = fedroad.GenerateRoadNetwork(*n, *seed)
+	g, w0, unitWeights, err := loadNetwork(*dataset, *graphF, *n, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
+		os.Exit(1)
+	}
+	if unitWeights {
+		log.Printf("WARNING: graph file %q has no weight section — serving UNIT travel times (1ms per segment); every ETA is fabricated. Surfaced as unit_weights in /stats.", *graphF)
 	}
 	silosW := fedroad.SimulateCongestion(w0, *silos, fedroad.Moderate, *seed+1)
 	cfg := fedroad.Config{
@@ -84,7 +128,23 @@ func main() {
 	}
 	defer fed.Close()
 	log.Printf("federation: %d vertices, %d arcs, %d silos", g.NumVertices(), g.NumArcs(), *silos)
-	if !*noIndex {
+
+	var pers *persister
+	if *persist != "" {
+		pers, err = newPersister(fed, *persist)
+		if err == nil {
+			_, err = pers.Restore()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
+			os.Exit(1)
+		}
+		ps := pers.Stats()
+		log.Printf("persist: restored from %s in %dms (index: %v, replayed deltas: %d)",
+			*persist, ps.RestoreMs, ps.RestoredIndex, ps.ReplayedDeltas)
+	}
+
+	if !*noIndex && !fed.HasIndex() {
 		start := time.Now()
 		if err := fed.BuildIndexWith(fedroad.IndexParams{Workers: *idxWkrs}); err != nil {
 			fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
@@ -93,17 +153,64 @@ func main() {
 		st := fed.IndexStats()
 		log.Printf("index: %d shortcuts in %v (%d workers, %d contraction rounds)",
 			st.Shortcuts, time.Since(start).Round(time.Millisecond), st.Workers, st.Rounds)
+	} else if fed.HasIndex() {
+		log.Printf("index: restored from snapshot (%d shortcuts), MPC rebuild skipped", fed.IndexStats().Shortcuts)
+	}
+	if pers != nil {
+		// Fold the restored-or-built index and any replayed deltas into a
+		// fresh snapshot so the next restart reads one file and zero deltas.
+		if err := pers.Snapshot(); err != nil {
+			fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	srv := newServer(fed, *maxConc)
 	srv.pprof = *pprofOn
+	srv.unitWeights = unitWeights
+	srv.persist = pers
+	srv.setMaxQueue(*maxQueue)
+	if *cacheCap > 0 {
+		srv.enableCache(*cacheCap)
+		log.Printf("result cache: %d entries, traffic-version keyed", *cacheCap)
+	}
 	defer srv.Close()
 	if srv.pprof {
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
-	log.Printf("serving up to %d concurrent queries", cap(srv.sem))
-	log.Printf("listening on http://%s", *addr)
-	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
-		log.Fatal(err)
+	log.Printf("serving up to %d concurrent queries (max queue: %d)", cap(srv.sem), *maxQueue)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on http://%s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let in-flight MPC queries finish (they
+	// hold checked-out sessions), then close the session pool and snapshot.
+	log.Printf("shutdown: draining in-flight queries")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: drain incomplete (%v), closing", err)
+		httpSrv.Close()
+	}
+	srv.Close()
+	if pers != nil {
+		if err := pers.Snapshot(); err != nil {
+			log.Printf("shutdown: final snapshot failed: %v", err)
+		}
+		pers.Close()
+	}
+	log.Printf("shutdown: complete")
 }

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"math/rand/v2"
+	"os"
+	"testing"
+
+	fedroad "repro"
+	"repro/internal/graph"
+	"repro/internal/wal"
+)
+
+// persistFed builds the deterministic federation every persistence test
+// shares: same seed ⇒ same topology and silo weights, standing in for the
+// same -dataset/-seed flags across a server restart. The returned shadow is
+// the test's own copy of the private silo weights — the federation never
+// exposes them, so the oracle tracks them alongside every update it applies.
+func persistFed(t *testing.T) (*fedroad.Federation, []fedroad.Weights) {
+	t.Helper()
+	g, w0 := fedroad.GenerateRoadNetwork(100, 401)
+	silosW := fedroad.SimulateCongestion(w0, 3, fedroad.Moderate, 402)
+	shadow := make([]fedroad.Weights, len(silosW))
+	for p, set := range silosW {
+		shadow[p] = append(fedroad.Weights(nil), set...)
+	}
+	f, err := fedroad.New(g, w0, silosW, fedroad.Config{Seed: 403})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, shadow
+}
+
+// applyRandomTraffic pushes deterministic single-update batches through the
+// persister, mirroring each into shadow when non-nil.
+func applyRandomTraffic(t *testing.T, p *persister, shadow []fedroad.Weights, seed uint64, batches int) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0))
+	numArcs := p.fed.Graph().NumArcs()
+	for i := 0; i < batches; i++ {
+		ups := []fedroad.TrafficUpdate{{
+			Silo:     rng.IntN(3),
+			Arc:      fedroad.Arc(rng.IntN(numArcs)),
+			TravelMs: int64(1 + rng.IntN(100000)),
+		}}
+		if _, err := p.Apply(ups); err != nil {
+			t.Fatal(err)
+		}
+		if shadow != nil {
+			shadow[ups[0].Silo][ups[0].Arc] = ups[0].TravelMs
+		}
+	}
+}
+
+// The headline restart path: snapshot with index, more deltas in the WAL,
+// process dies, fresh process restores — index back without an MPC rebuild,
+// deltas replayed, and queries agree with plaintext Dijkstra.
+func TestPersistRestartRestoresIndexWithoutRebuild(t *testing.T) {
+	dir := t.TempDir()
+	fed, shadow := persistFed(t)
+	p, err := newPersister(fed, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Restore(); err != nil { // first boot: nothing on disk
+		t.Fatal(err)
+	}
+	if err := fed.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	applyRandomTraffic(t, p, shadow, 404, 5) // WAL-only deltas after the snapshot
+	wantVer := fed.TrafficVersion()
+	p.Close()
+
+	// "Restart": fresh federation, no index, same persistence directory.
+	fed2, _ := persistFed(t)
+	p2, err := newPersister(fed2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := p2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if !restored || !fed2.HasIndex() {
+		t.Fatal("restart did not restore the shortcut index from the snapshot")
+	}
+	ps := p2.Stats()
+	if ps.ReplayedDeltas != 5 {
+		t.Fatalf("replayed %d deltas, want 5", ps.ReplayedDeltas)
+	}
+	if !ps.RestoredIndex || ps.RestoreMs < 0 {
+		t.Fatalf("persist stats %+v", ps)
+	}
+	if got := fed2.TrafficVersion(); got != wantVer {
+		t.Fatalf("traffic version %d after restart, want %d", got, wantVer)
+	}
+
+	// Restored index answers exactly like plaintext Dijkstra on the shadow
+	// joint weights (which include the replayed deltas).
+	g := fed2.Graph()
+	joint := make(fedroad.Weights, g.NumArcs())
+	for _, set := range shadow {
+		for a, w := range set {
+			joint[a] += w
+		}
+	}
+	rng := rand.New(rand.NewPCG(405, 0))
+	for trial := 0; trial < 15; trial++ {
+		s := fedroad.Vertex(rng.IntN(g.NumVertices()))
+		d := fedroad.Vertex(rng.IntN(g.NumVertices()))
+		want, _ := graph.DijkstraTo(g, joint, s, d)
+		route, _, err := fed2.ShortestPath(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want >= graph.InfCost {
+			if route.Found {
+				t.Fatalf("route %d→%d found, oracle unreachable", s, d)
+			}
+			continue
+		}
+		if got := fedroad.JointCost(route); got != want {
+			t.Fatalf("restored route %d→%d cost %d, oracle %d", s, d, got, want)
+		}
+	}
+}
+
+// Crash between writing a snapshot and resetting the WAL: the log still holds
+// deltas the snapshot already includes. Restore must skip them by version —
+// replaying them would double-apply nothing here (last-write-wins), but the
+// count must show zero so the invariant is visible.
+func TestPersistCrashBetweenSnapshotAndWALReset(t *testing.T) {
+	dir := t.TempDir()
+	fed, _ := persistFed(t)
+	p, err := newPersister(fed, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	applyRandomTraffic(t, p, nil, 406, 3)
+	// Simulate the torn Snapshot(): state file written, crash before Reset.
+	if err := wal.WriteFileAtomic(p.snapPath(), fed.SaveState); err != nil {
+		t.Fatal(err)
+	}
+	wantVer := fed.TrafficVersion()
+	p.Close()
+
+	fed2, _ := persistFed(t)
+	p2, err := newPersister(fed2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if ps := p2.Stats(); ps.ReplayedDeltas != 0 {
+		t.Fatalf("replayed %d deltas already inside the snapshot, want 0", ps.ReplayedDeltas)
+	}
+	if got := fed2.TrafficVersion(); got != wantVer {
+		t.Fatalf("traffic version %d, want %d", got, wantVer)
+	}
+}
+
+// Crash mid-append: the WAL ends in a torn record. Restore applies every
+// complete record, truncates the tail, and the log keeps accepting appends.
+func TestPersistTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	fed, _ := persistFed(t)
+	p, err := newPersister(fed, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	applyRandomTraffic(t, p, nil, 407, 4)
+	wantVer := fed.TrafficVersion()
+	p.Close()
+
+	// Tear the tail: append half a record's worth of garbage.
+	f, err := os.OpenFile(p.walPath(), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.Stat(p.walPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fed2, _ := persistFed(t)
+	p2, err := newPersister(fed2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if ps := p2.Stats(); ps.ReplayedDeltas != 4 {
+		t.Fatalf("replayed %d deltas, want 4", ps.ReplayedDeltas)
+	}
+	if got := fed2.TrafficVersion(); got != wantVer {
+		t.Fatalf("traffic version %d, want %d", got, wantVer)
+	}
+	after, err := os.Stat(p2.walPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d → %d bytes", before.Size(), after.Size())
+	}
+	// And the recovered log must still be appendable at the record boundary.
+	applyRandomTraffic(t, p2, nil, 408, 1)
+	p2.Close()
+
+	fed3, _ := persistFed(t)
+	p3, err := newPersister(fed3, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p3.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	defer p3.Close()
+	if ps := p3.Stats(); ps.ReplayedDeltas != 5 {
+		t.Fatalf("replayed %d deltas after recovery append, want 5", ps.ReplayedDeltas)
+	}
+}
+
+// A durable apply that fails to log must say so: the update is live in
+// memory but a restart would lose it.
+func TestPersistApplySurfacesWALFailure(t *testing.T) {
+	dir := t.TempDir()
+	fed, _ := persistFed(t)
+	p, err := newPersister(fed, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	p.wal.Close() // simulate the log handle dying under the server
+	_, err = p.Apply([]fedroad.TrafficUpdate{{Silo: 0, Arc: 1, TravelMs: 5000}})
+	if err == nil {
+		t.Fatal("apply with a dead WAL reported success")
+	}
+}

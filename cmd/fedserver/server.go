@@ -13,6 +13,8 @@ import (
 	"time"
 
 	fedroad "repro"
+	"repro/internal/admit"
+	"repro/internal/ch"
 	"repro/internal/metrics"
 )
 
@@ -37,6 +39,27 @@ type server struct {
 	sem     chan struct{} // bounds in-flight queries
 	queries atomic.Int64  // queries served (route + knn)
 	pprof   bool          // mount /debug/pprof/* handlers
+
+	// gate is the admission control in front of the semaphore: the semaphore
+	// bounds RUNNING queries (and blocks the excess), the gate bounds the
+	// whole in-system population (running + queued) and sheds beyond it with
+	// 429 + Retry-After instead of letting latency collapse. Always non-nil;
+	// with -max-queue 0 it only counts.
+	gate *admit.Gate
+	// cache, when non-nil (-cache > 0), is the traffic-version-keyed result
+	// cache: hits and coalesced waiters skip the gate, the semaphore and the
+	// MPC engine entirely.
+	cache *fedroad.QueryCache
+	// persist, when non-nil (-persist), logs every applied traffic batch to
+	// the WAL and owns the snapshot/restore cycle.
+	persist *persister
+	// unitWeights records that the served graph file carried no weights and
+	// travel times were fabricated as 1ms per segment — surfaced in /stats so
+	// nobody mistakes routes on a real topology for real ETAs.
+	unitWeights bool
+	// ewmaQueryMicros tracks a decaying average query latency, the basis of
+	// the Retry-After hint on shed responses.
+	ewmaQueryMicros atomic.Int64
 
 	// Sessions are reused through an explicit free-list rather than a
 	// sync.Pool: a GC'd pool entry would leak its transport endpoints
@@ -65,7 +88,14 @@ func newServer(fed *fedroad.Federation, maxConcurrent int) *server {
 		maxConcurrent = 4 * runtime.GOMAXPROCS(0)
 	}
 	s := &server{fed: fed, sem: make(chan struct{}, maxConcurrent)}
+	s.setMaxQueue(0)
 	reg := fed.Metrics()
+	reg.CounterFunc("fedserver_admitted_total", "queries admitted past the admission gate", nil,
+		func() float64 { return float64(s.gate.Stats().Admitted) })
+	reg.CounterFunc("fedserver_shed_total", "queries shed by the admission gate (429)", nil,
+		func() float64 { return float64(s.gate.Stats().Shed) })
+	reg.GaugeFunc("fedserver_queue_depth", "queries in the system (running + queued)", nil,
+		func() float64 { return float64(s.gate.Stats().Depth) })
 	s.mCheckouts = reg.Counter("fedserver_sessions_checked_out_total", "query sessions handed to requests", nil)
 	s.mForks = reg.Counter("fedserver_sessions_forked_total", "fresh query sessions forked on free-list miss", nil)
 	s.mEvicted = reg.Counter("fedserver_sessions_evicted_total", "healthy sessions closed because the free-list was full or the server closed", nil)
@@ -75,6 +105,30 @@ func newServer(fed *fedroad.Federation, maxConcurrent int) *server {
 	reg.GaugeFunc("fedserver_max_concurrent", "in-flight query bound", nil,
 		func() float64 { return float64(cap(s.sem)) })
 	return s
+}
+
+// setMaxQueue (re)builds the admission gate: maxQueue > 0 bounds the
+// in-system population to maxConcurrent running plus maxQueue queued; 0
+// disables shedding (the gate still counts). The gate is prepool-aware: with
+// a preprocessing pool configured, a dry pool halves the effective limit,
+// shedding earlier exactly when every admitted query is at its slowest.
+func (s *server) setMaxQueue(maxQueue int) {
+	limit := 0
+	if maxQueue > 0 {
+		limit = cap(s.sem) + maxQueue
+	}
+	var poolDepth func() int
+	if s.fed.HasPool() {
+		fed := s.fed
+		poolDepth = func() int { return int(fed.PoolStats().Buffered) }
+	}
+	s.gate = admit.New(limit, poolDepth)
+}
+
+// enableCache installs a traffic-version-keyed result cache of the given
+// capacity (entries) and registers its fedroad_cache_* metrics.
+func (s *server) enableCache(capacity int) {
+	s.cache = s.fed.NewQueryCache(capacity)
 }
 
 // checkout takes a session from the free-list, forking a fresh one when the
@@ -135,9 +189,17 @@ func (s *server) Close() {
 	}
 }
 
-// withSession bounds concurrency and runs fn on a pooled query session,
-// returning fn's error.
+// withSession admits the request, bounds concurrency and runs fn on a pooled
+// query session, returning fn's error. The gate is taken BEFORE the
+// semaphore: a shed request never blocks, and the gate's depth counts both
+// the queued (blocked on sem) and the running. On the cached path this runs
+// inside the flight leader's closure, so cache hits and coalesced waiters
+// consume no admission slot.
 func (s *server) withSession(fn func(*fedroad.Session) error) error {
+	if err := s.gate.Acquire(); err != nil {
+		return err
+	}
+	defer s.gate.Release()
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 	sess, err := s.checkout()
@@ -145,9 +207,49 @@ func (s *server) withSession(fn func(*fedroad.Session) error) error {
 		return err
 	}
 	s.queries.Add(1)
+	start := time.Now()
 	err = fn(sess)
+	s.observeLatency(time.Since(start))
 	s.release(sess)
 	return err
+}
+
+// observeLatency folds one query's wall time into the decaying average
+// behind Retry-After (EWMA, alpha 1/8; lossy racing updates are fine for a
+// hint).
+func (s *server) observeLatency(d time.Duration) {
+	us := d.Microseconds()
+	old := s.ewmaQueryMicros.Load()
+	if old == 0 {
+		s.ewmaQueryMicros.Store(us)
+		return
+	}
+	s.ewmaQueryMicros.Store(old + (us-old)/8)
+}
+
+// retryAfterSec estimates when a shed client should retry: the current
+// backlog divided by the service rate, clamped to [1s, 30s].
+func (s *server) retryAfterSec() int {
+	depth := s.gate.Stats().Depth
+	ewma := s.ewmaQueryMicros.Load()
+	sec := int(depth * ewma / int64(cap(s.sem)) / 1e6)
+	if sec < 1 {
+		return 1
+	}
+	if sec > 30 {
+		return 30
+	}
+	return sec
+}
+
+// writeQueryError renders a query error, attaching the Retry-After hint to
+// shed responses.
+func (s *server) writeQueryError(w http.ResponseWriter, err error) {
+	code := queryStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSec()))
+	}
+	httpError(w, code, err)
 }
 
 // errServerClosed is returned by checkout after Close.
@@ -163,6 +265,8 @@ var errServerClosed = errors.New("server closed")
 // (500).
 func queryStatus(err error) int {
 	switch {
+	case errors.Is(err, admit.ErrShed):
+		return http.StatusTooManyRequests
 	case fedroad.IsTimeout(err):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, fedroad.ErrSessionPoisoned), errors.Is(err, errServerClosed):
@@ -265,6 +369,13 @@ type routeResponse struct {
 	Path          []fedroad.Vertex `json:"path,omitempty"`
 	Segments      int              `json:"segments"`
 	MeanTravelSec float64          `json:"mean_travel_sec"`
+	// TrafficVersion is the traffic version the answer was computed at,
+	// captured under the query's own read lock — the anchor for staleness
+	// checks. Cached ("hit", "miss", "coalesced") is set when the result
+	// cache is enabled; on hits the cost block replays the computing query's
+	// counters (this request spent none).
+	TrafficVersion uint64 `json:"traffic_version"`
+	Cached         string `json:"cached,omitempty"`
 	queryCost
 }
 
@@ -279,8 +390,10 @@ type knnNeighbor struct {
 }
 
 type knnResponse struct {
-	Results []knnNeighbor `json:"results"`
-	Stats   queryCost     `json:"stats"`
+	Results        []knnNeighbor `json:"results"`
+	Stats          queryCost     `json:"stats"`
+	TrafficVersion uint64        `json:"traffic_version"`
+	Cached         string        `json:"cached,omitempty"`
 }
 
 func (s *server) vertexParam(r *http.Request, name string) (fedroad.Vertex, error) {
@@ -317,18 +430,37 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	opt := queryOptions(r)
+	run := func() (fedroad.Route, fedroad.Stats, uint64, error) {
+		var route fedroad.Route
+		var stats fedroad.Stats
+		var ver uint64
+		err := s.withSession(func(sess *fedroad.Session) error {
+			var qerr error
+			route, stats, ver, qerr = sess.ShortestPathAt(src, dst, opt)
+			return qerr
+		})
+		return route, stats, ver, err
+	}
 	var route fedroad.Route
 	var stats fedroad.Stats
-	err = s.withSession(func(sess *fedroad.Session) error {
-		var qerr error
-		route, stats, qerr = sess.ShortestPath(src, dst, queryOptions(r))
-		return qerr
-	})
+	var ver uint64
+	var cached string
+	if s.cache != nil {
+		var out fedroad.CacheOutcome
+		route, stats, ver, out, err = s.cache.ShortestPath(src, dst, opt, run)
+		cached = out.String()
+	} else {
+		route, stats, ver, err = run()
+	}
 	if err != nil {
-		httpError(w, queryStatus(err), err)
+		s.writeQueryError(w, err)
 		return
 	}
-	writeJSON(w, s.toResponse(route, stats))
+	resp := s.toResponse(route, stats)
+	resp.TrafficVersion = ver
+	resp.Cached = cached
+	writeJSON(w, resp)
 }
 
 func (s *server) toResponse(route fedroad.Route, stats fedroad.Stats) routeResponse {
@@ -364,20 +496,37 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("parameter k out of range"))
 		return
 	}
+	opt := queryOptions(r)
+	run := func() ([]fedroad.Route, fedroad.Stats, uint64, error) {
+		var routes []fedroad.Route
+		var stats fedroad.Stats
+		var ver uint64
+		err := s.withSession(func(sess *fedroad.Session) error {
+			var qerr error
+			routes, stats, ver, qerr = sess.NearestNeighborsAt(src, k, opt)
+			return qerr
+		})
+		return routes, stats, ver, err
+	}
 	var routes []fedroad.Route
 	var stats fedroad.Stats
-	err = s.withSession(func(sess *fedroad.Session) error {
-		var qerr error
-		routes, stats, qerr = sess.NearestNeighbors(src, k, queryOptions(r))
-		return qerr
-	})
+	var ver uint64
+	var cached string
+	if s.cache != nil {
+		var co fedroad.CacheOutcome
+		routes, stats, ver, co, err = s.cache.NearestNeighbors(src, k, opt, run)
+		cached = co.String()
+	} else {
+		routes, stats, ver, err = run()
+	}
 	if err != nil {
-		httpError(w, queryStatus(err), err)
+		s.writeQueryError(w, err)
 		return
 	}
 	// One Fed-SSSP run produced all k routes; its cost is reported once, not
 	// fabricated per neighbor.
-	out := knnResponse{Results: make([]knnNeighbor, len(routes)), Stats: costOf(stats)}
+	out := knnResponse{Results: make([]knnNeighbor, len(routes)), Stats: costOf(stats),
+		TrafficVersion: ver, Cached: cached}
 	for i, rt := range routes {
 		out.Results[i] = s.toNeighbor(rt)
 	}
@@ -419,7 +568,7 @@ func (s *server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	hadIndex := s.fed.HasIndex()
-	stats, err := s.fed.ApplyTraffic(updates)
+	stats, err := s.applyTraffic(updates)
 	if err != nil {
 		// Validation re-runs inside ApplyTraffic and tags its rejections
 		// with ErrInvalidUpdate — those are the client's fault. Anything
@@ -449,6 +598,16 @@ func (s *server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 	}{len(changes), updated})
 }
 
+// applyTraffic routes a traffic batch through the persister when -persist is
+// on (apply + durable WAL append under one mutex) and straight to the
+// federation otherwise.
+func (s *server) applyTraffic(updates []fedroad.TrafficUpdate) (ch.UpdateStats, error) {
+	if s.persist != nil {
+		return s.persist.Apply(updates)
+	}
+	return s.fed.ApplyTraffic(updates)
+}
+
 // pooledIdle reports how many sessions sit in the free-list right now.
 func (s *server) pooledIdle() int {
 	s.mu.Lock()
@@ -456,29 +615,70 @@ func (s *server) pooledIdle() int {
 	return len(s.free)
 }
 
+// cacheStatsJSON is the /stats cache block.
+type cacheStatsJSON struct {
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+	Coalesced       uint64 `json:"coalesced"`
+	EvictedCapacity uint64 `json:"evicted_capacity"`
+	EvictedStale    uint64 `json:"evicted_stale"`
+	Entries         int    `json:"entries"`
+}
+
+// admitStatsJSON is the /stats admission block.
+type admitStatsJSON struct {
+	Limit    int64 `json:"limit"` // 0 = shedding disabled
+	Depth    int64 `json:"queue_depth"`
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.fed.IndexStats()
 	pool := s.fed.PoolStats()
+	gs := s.gate.Stats()
+	var cacheBlock *cacheStatsJSON
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		cacheBlock = &cacheStatsJSON{
+			Hits: cs.Hits, Misses: cs.Misses, Coalesced: cs.Coalesced,
+			EvictedCapacity: cs.EvictedCapacity, EvictedStale: cs.EvictedStale,
+			Entries: cs.Entries,
+		}
+	}
+	var persistBlock *persistStats
+	if s.persist != nil {
+		ps := s.persist.Stats()
+		persistBlock = &ps
+	}
 	writeJSON(w, struct {
-		Vertices      int                `json:"vertices"`
-		Arcs          int                `json:"arcs"`
-		Silos         int                `json:"silos"`
-		HasIndex      bool               `json:"has_index"`
-		IndexBuilding bool               `json:"index_building"`
-		Shortcuts     int                `json:"shortcuts"`
-		BuildSACs     int64              `json:"build_fed_sacs"`
-		QueriesServed int64              `json:"queries_served"`
-		MaxConcurrent int                `json:"max_concurrent"`
-		PooledIdle    int                `json:"pooled_sessions"`
-		Discarded     int64              `json:"poisoned_sessions_discarded"`
-		PoolProduced  int64              `json:"prepool_produced"`
-		PoolHits      int64              `json:"prepool_hits"`
-		PoolMisses    int64              `json:"prepool_misses"`
-		Metrics       map[string]float64 `json:"metrics"`
+		Vertices       int                `json:"vertices"`
+		Arcs           int                `json:"arcs"`
+		Silos          int                `json:"silos"`
+		HasIndex       bool               `json:"has_index"`
+		IndexBuilding  bool               `json:"index_building"`
+		Shortcuts      int                `json:"shortcuts"`
+		BuildSACs      int64              `json:"build_fed_sacs"`
+		TrafficVersion uint64             `json:"traffic_version"`
+		UnitWeights    bool               `json:"unit_weights"`
+		QueriesServed  int64              `json:"queries_served"`
+		MaxConcurrent  int                `json:"max_concurrent"`
+		Admission      admitStatsJSON     `json:"admission"`
+		Cache          *cacheStatsJSON    `json:"cache,omitempty"`
+		Persist        *persistStats      `json:"persist,omitempty"`
+		PooledIdle     int                `json:"pooled_sessions"`
+		Discarded      int64              `json:"poisoned_sessions_discarded"`
+		PoolProduced   int64              `json:"prepool_produced"`
+		PoolHits       int64              `json:"prepool_hits"`
+		PoolMisses     int64              `json:"prepool_misses"`
+		Metrics        map[string]float64 `json:"metrics"`
 	}{
 		s.fed.Graph().NumVertices(), s.fed.Graph().NumArcs(), s.fed.Silos(),
 		s.fed.HasIndex(), s.fed.IndexBuilding(), st.Shortcuts, st.SAC.Compares,
+		s.fed.TrafficVersion(), s.unitWeights,
 		s.queries.Load(), cap(s.sem),
+		admitStatsJSON{Limit: gs.Limit, Depth: gs.Depth, Admitted: gs.Admitted, Shed: gs.Shed},
+		cacheBlock, persistBlock,
 		s.pooledIdle(), s.discarded.Load(),
 		pool.Produced, pool.Hits, pool.Misses,
 		s.fed.Metrics().Snapshot(),

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	fedroad "repro"
+)
+
+// servingServer is testServer with access to the server struct, for tests
+// that flip serving-tier knobs (cache, admission gate) directly.
+func servingServer(t *testing.T, maxConcurrent int) (*httptest.Server, *server) {
+	t.Helper()
+	g, w0 := fedroad.GenerateRoadNetwork(150, 91)
+	silosW := fedroad.SimulateCongestion(w0, 3, fedroad.Moderate, 92)
+	fed, err := fedroad.New(g, w0, silosW, fedroad.Config{Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(fed, maxConcurrent)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	return ts, srv
+}
+
+type servingStats struct {
+	TrafficVersion uint64          `json:"traffic_version"`
+	UnitWeights    bool            `json:"unit_weights"`
+	Admission      admitStatsJSON  `json:"admission"`
+	Cache          *cacheStatsJSON `json:"cache"`
+	Persist        *persistStats   `json:"persist"`
+}
+
+func TestRouteCacheHitMissLifecycle(t *testing.T) {
+	ts, srv := servingServer(t, 4)
+	srv.enableCache(64)
+
+	var first, second, third routeResponse
+	if r := getJSON(t, ts.URL+"/route?s=3&t=120", &first); r.StatusCode != http.StatusOK {
+		t.Fatalf("first route: %d", r.StatusCode)
+	}
+	if first.Cached != "miss" {
+		t.Fatalf("first call cached=%q, want miss", first.Cached)
+	}
+	if r := getJSON(t, ts.URL+"/route?s=3&t=120", &second); r.StatusCode != http.StatusOK {
+		t.Fatalf("second route: %d", r.StatusCode)
+	}
+	if second.Cached != "hit" {
+		t.Fatalf("second call cached=%q, want hit", second.Cached)
+	}
+	if first.TrafficVersion != second.TrafficVersion {
+		t.Fatalf("hit echoed version %d, miss echoed %d", second.TrafficVersion, first.TrafficVersion)
+	}
+	if len(second.Path) != len(first.Path) || second.MeanTravelSec != first.MeanTravelSec {
+		t.Fatal("cache hit returned a different route")
+	}
+
+	// A traffic update moves the version: the next identical query misses and
+	// echoes the new version.
+	body := bytes.NewBufferString(`[{"silo":0,"arc":9,"travel_ms":180000}]`)
+	resp, err := http.Post(ts.URL+"/traffic", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traffic update: %d", resp.StatusCode)
+	}
+	if r := getJSON(t, ts.URL+"/route?s=3&t=120", &third); r.StatusCode != http.StatusOK {
+		t.Fatalf("post-update route: %d", r.StatusCode)
+	}
+	if third.Cached != "miss" {
+		t.Fatalf("post-update call cached=%q, want miss", third.Cached)
+	}
+	if third.TrafficVersion != first.TrafficVersion+1 {
+		t.Fatalf("post-update version %d, want %d", third.TrafficVersion, first.TrafficVersion+1)
+	}
+
+	// kNN rides the same cache.
+	var k1, k2 knnResponse
+	getJSON(t, ts.URL+"/knn?s=10&k=3", &k1)
+	getJSON(t, ts.URL+"/knn?s=10&k=3", &k2)
+	if k1.Cached != "miss" || k2.Cached != "hit" {
+		t.Fatalf("knn cached=%q then %q, want miss then hit", k1.Cached, k2.Cached)
+	}
+
+	// The counters are visible on /stats and /metrics.
+	var st servingStats
+	if r := getJSON(t, ts.URL+"/stats", &st); r.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", r.StatusCode)
+	}
+	if st.Cache == nil {
+		t.Fatal("/stats has no cache block with the cache enabled")
+	}
+	if st.Cache.Hits != 2 || st.Cache.Misses != 3 {
+		t.Fatalf("cache stats %+v, want 2 hits / 3 misses", st.Cache)
+	}
+	m := scrape(t, ts.URL)
+	if m[`fedroad_cache_hits_total`] != 2 || m[`fedroad_cache_misses_total`] != 3 {
+		t.Fatalf("metrics hits=%v misses=%v, want 2/3",
+			m[`fedroad_cache_hits_total`], m[`fedroad_cache_misses_total`])
+	}
+}
+
+// TestCacheOffByDefault: without enableCache the response carries no cached
+// field and /stats no cache block.
+func TestCacheOffByDefault(t *testing.T) {
+	ts, _ := servingServer(t, 4)
+	var resp routeResponse
+	getJSON(t, ts.URL+"/route?s=3&t=120", &resp)
+	if resp.Cached != "" {
+		t.Fatalf("cached=%q with the cache off", resp.Cached)
+	}
+	var st servingStats
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Cache != nil {
+		t.Fatal("/stats has a cache block with the cache off")
+	}
+}
+
+// Shedding: with the in-system population at its limit, the next query gets
+// 429 plus a Retry-After hint — it never blocks. The gate is exercised
+// directly (deterministic) and then through HTTP.
+func TestAdmissionShedsWith429(t *testing.T) {
+	ts, srv := servingServer(t, 2)
+	srv.setMaxQueue(1) // in-system limit: 2 running + 1 queued
+
+	// Fill the gate as three in-flight queries would.
+	for i := 0; i < 3; i++ {
+		if err := srv.gate.Acquire(); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/route?s=3&t=120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d at the admission limit, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 30 {
+		t.Fatalf("Retry-After %q, want an integer in [1,30]", resp.Header.Get("Retry-After"))
+	}
+
+	// Released capacity admits again.
+	for i := 0; i < 3; i++ {
+		srv.gate.Release()
+	}
+	if r := getJSON(t, ts.URL+"/route?s=3&t=120", nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after release, want 200", r.StatusCode)
+	}
+
+	// Accounting is visible on /stats and /metrics and adds up.
+	var st servingStats
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Admission.Limit != 3 || st.Admission.Shed != 1 {
+		t.Fatalf("admission stats %+v, want limit 3, shed 1", st.Admission)
+	}
+	if st.Admission.Depth != 0 {
+		t.Fatalf("queue depth %d with nothing in flight", st.Admission.Depth)
+	}
+	m := scrape(t, ts.URL)
+	if m[`fedserver_shed_total`] != 1 {
+		t.Fatalf("fedserver_shed_total = %v, want 1", m[`fedserver_shed_total`])
+	}
+	if m[`fedserver_admitted_total`] < 4 {
+		t.Fatalf("fedserver_admitted_total = %v, want >= 4", m[`fedserver_admitted_total`])
+	}
+}
+
+// With -max-queue 0 (the default) nothing sheds; the gate only counts.
+func TestNoSheddingByDefault(t *testing.T) {
+	ts, srv := servingServer(t, 1)
+	for i := 0; i < 10; i++ {
+		if err := srv.gate.Acquire(); err != nil {
+			t.Fatalf("acquire %d shed with shedding disabled: %v", i, err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		srv.gate.Release()
+	}
+	if r := getJSON(t, ts.URL+"/route?s=3&t=120", nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", r.StatusCode)
+	}
+}
+
+// The unit-weights warning is surfaced in /stats.
+func TestUnitWeightsSurfacedInStats(t *testing.T) {
+	ts, srv := servingServer(t, 2)
+	srv.unitWeights = true
+	var st servingStats
+	getJSON(t, ts.URL+"/stats", &st)
+	if !st.UnitWeights {
+		t.Fatal("unit_weights not surfaced in /stats")
+	}
+}

@@ -437,6 +437,11 @@ func (f *Federation) Close() {
 	}
 }
 
+// HasPool reports whether a preprocessing pool is configured — callers use it
+// to distinguish "pool empty" (degraded, queries pay the offline phase
+// online) from "no pool at all" (PoolStats is all zeros either way).
+func (f *Federation) HasPool() bool { return f.pool != nil }
+
 // PoolStats reports preprocessing-pool activity; the zero value when no pool
 // is configured.
 func (f *Federation) PoolStats() mpc.PoolStats {
@@ -448,6 +453,18 @@ func (f *Federation) PoolStats() mpc.PoolStats {
 
 // Graph returns the shared topology.
 func (f *Federation) Graph() *Graph { return f.inner.Graph() }
+
+// TrafficVersion returns the traffic version: a counter of silo-weight
+// mutations (SetTraffic, non-empty ApplyTraffic, LoadSavedIndex/RestoreState).
+// Serving tiers fold it into cache keys — a traffic update bumps the version,
+// which makes every older cache entry unreachable without any explicit
+// invalidation. The versioned query methods (Session.ShortestPathAt,
+// Session.NearestNeighborsAt) echo the version their result was computed at.
+func (f *Federation) TrafficVersion() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.trafficVer
+}
 
 // Silos returns the number of data silos.
 func (f *Federation) Silos() int { return f.inner.P() }

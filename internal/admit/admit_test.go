@@ -1,0 +1,93 @@
+package admit
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBound(t *testing.T) {
+	g := New(2, nil)
+	if err := g.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(); !errors.Is(err, ErrShed) {
+		t.Fatalf("third acquire: %v, want ErrShed", err)
+	}
+	g.Release()
+	if err := g.Acquire(); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	st := g.Stats()
+	if st.Admitted != 3 || st.Shed != 1 || st.Depth != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestUnlimitedOnlyCounts(t *testing.T) {
+	g := New(0, nil)
+	for i := 0; i < 100; i++ {
+		if err := g.Acquire(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Stats()
+	if st.Admitted != 100 || st.Shed != 0 || st.Depth != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDryPoolHalvesLimit(t *testing.T) {
+	depth := 10
+	g := New(10, func() int { return depth })
+	for i := 0; i < 10; i++ {
+		if err := g.Acquire(); err != nil {
+			t.Fatalf("acquire %d with full pool: %v", i, err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		g.Release()
+	}
+	depth = 0 // pool runs dry: effective limit (10+1)/2 = 5
+	for i := 0; i < 5; i++ {
+		if err := g.Acquire(); err != nil {
+			t.Fatalf("acquire %d with dry pool: %v", i, err)
+		}
+	}
+	if err := g.Acquire(); !errors.Is(err, ErrShed) {
+		t.Fatal("dry pool did not halve the limit")
+	}
+}
+
+// TestAccountingInvariant is the soak bench's invariant under -race: across
+// any concurrency, Admitted + Shed equals Acquire calls, and depth returns to
+// zero when every admitted request releases.
+func TestAccountingInvariant(t *testing.T) {
+	g := New(4, nil)
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				calls.Add(1)
+				if err := g.Acquire(); err == nil {
+					g.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := g.Stats()
+	if st.Admitted+st.Shed != calls.Load() {
+		t.Fatalf("admitted %d + shed %d != acquires %d", st.Admitted, st.Shed, calls.Load())
+	}
+	if st.Depth != 0 {
+		t.Fatalf("depth %d after all releases", st.Depth)
+	}
+}

@@ -1,0 +1,261 @@
+// Package cache is the serving tier's traffic-version-keyed result cache: a
+// sharded LRU with request coalescing. Repeated-OD and kNN queries are highly
+// cacheable between traffic updates — every avoided recomputation is an MPC
+// query (and therefore a whole Fed-SAC round budget) that never runs — and
+// invalidation is trivial because the federation already counts silo-weight
+// mutations: callers fold the traffic version into the key, so a traffic
+// update simply makes every older entry unreachable. Unreachable entries age
+// out of the LRU; they are never served.
+//
+// The coalescing (singleflight) path is what survives a thundering herd: any
+// number of concurrent requests for the same key run ONE miss function — one
+// MPC query — and share its result. Waiters consume no session, no semaphore
+// slot and no admission ticket while they wait.
+//
+// Values are shared between all readers of an entry and must be treated as
+// immutable by callers.
+package cache
+
+import (
+	"sync"
+)
+
+// Outcome classifies how one Do call was served.
+type Outcome int
+
+const (
+	// Miss: this call ran the miss function itself (the flight leader).
+	Miss Outcome = iota
+	// Hit: served from a stored entry.
+	Hit
+	// Coalesced: waited on a concurrent leader's in-flight computation and
+	// shared its result without running anything.
+	Coalesced
+)
+
+// String renders the outcome for responses and logs.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// Stats is a point-in-time aggregate of the cache's counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Coalesced uint64
+	// EvictedCapacity counts LRU evictions of entries still at the current
+	// traffic version (genuine capacity pressure); EvictedStale counts
+	// evictions of entries whose version a traffic update had already made
+	// unreachable (bookkeeping, not capacity pressure).
+	EvictedCapacity uint64
+	EvictedStale    uint64
+	Entries         int
+}
+
+// numShards keeps lock contention negligible at serving concurrency; a power
+// of two so the shard pick is a mask.
+const numShards = 16
+
+// Cache is a sharded LRU with per-key request coalescing. The zero value is
+// not usable; call New.
+type Cache struct {
+	shards [numShards]shard
+	perCap int // per-shard entry capacity
+}
+
+// entry is one cached value on a shard's intrusive LRU list.
+type entry struct {
+	key        string
+	val        any
+	ver        uint64 // traffic version the value was computed at
+	prev, next *entry
+}
+
+// flight is one in-progress miss computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	ver  uint64
+	err  error
+}
+
+type shard struct {
+	mu       sync.Mutex
+	m        map[string]*entry
+	inflight map[string]*flight
+	// LRU list: head is most recently used, tail is the eviction victim.
+	head, tail *entry
+
+	hits, misses, coalesced, evCap, evStale uint64
+}
+
+// New builds a cache holding at most capacity entries (rounded up to a
+// multiple of the shard count; capacity < 1 is clamped to the shard count).
+func New(capacity int) *Cache {
+	perCap := (capacity + numShards - 1) / numShards
+	if perCap < 1 {
+		perCap = 1
+	}
+	c := &Cache{perCap: perCap}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*entry)
+		c.shards[i].inflight = make(map[string]*flight)
+	}
+	return c
+}
+
+// shardFor picks a shard by FNV-1a of the key.
+func (c *Cache) shardFor(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h&(numShards-1)]
+}
+
+// Do returns the value stored under key, running miss (once, even under
+// concurrent callers of the same key) to compute it when absent. cur is the
+// caller's current traffic version, used only to classify evictions as
+// capacity-driven versus stale; callers MUST also fold the version into the
+// key itself — that is what makes invalidation free. The returned version is
+// the traffic version the value was actually computed at (>= the keyed
+// version: a computation that raced a traffic update observed the newer
+// weights, never older ones). Errors are never cached; every waiter of a
+// failed flight receives the leader's error.
+func (c *Cache) Do(key string, cur uint64, miss func() (any, uint64, error)) (any, uint64, Outcome, error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		s.moveToFront(e)
+		s.hits++
+		s.mu.Unlock()
+		return e.val, e.ver, Hit, nil
+	}
+	if fl, ok := s.inflight[key]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		<-fl.done
+		return fl.val, fl.ver, Coalesced, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.inflight[key] = fl
+	s.misses++
+	s.mu.Unlock()
+
+	fl.val, fl.ver, fl.err = miss()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if fl.err == nil {
+		s.insert(&entry{key: key, val: fl.val, ver: fl.ver}, c.perCap, cur)
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.val, fl.ver, Miss, fl.err
+}
+
+// Get is the lock-only fast path: a stored value or nothing, never a wait.
+func (c *Cache) Get(key string) (any, uint64, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok {
+		return nil, 0, false
+	}
+	s.moveToFront(e)
+	s.hits++
+	return e.val, e.ver, true
+}
+
+// insert stores e at the LRU front and evicts from the tail while the shard
+// is over capacity; the caller holds s.mu.
+func (s *shard) insert(e *entry, perCap int, cur uint64) {
+	s.m[e.key] = e
+	s.pushFront(e)
+	for len(s.m) > perCap {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.m, victim.key)
+		if victim.ver < cur {
+			s.evStale++
+		} else {
+			s.evCap++
+		}
+	}
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// Stats aggregates the per-shard counters.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Coalesced += s.coalesced
+		st.EvictedCapacity += s.evCap
+		st.EvictedStale += s.evStale
+		st.Entries += len(s.m)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,186 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoMissThenHit(t *testing.T) {
+	c := New(64)
+	calls := 0
+	miss := func() (any, uint64, error) { calls++; return "route", 7, nil }
+
+	v, ver, out, err := c.Do("k", 7, miss)
+	if err != nil || v != "route" || ver != 7 || out != Miss {
+		t.Fatalf("first call: %v %d %v %v", v, ver, out, err)
+	}
+	v, ver, out, err = c.Do("k", 7, miss)
+	if err != nil || v != "route" || ver != 7 || out != Hit {
+		t.Fatalf("second call: %v %d %v %v", v, ver, out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("miss function ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestErrorsAreNeverCached(t *testing.T) {
+	c := New(8)
+	boom := errors.New("boom")
+	calls := 0
+	_, _, _, err := c.Do("k", 0, func() (any, uint64, error) { calls++; return nil, 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	_, _, out, err := c.Do("k", 0, func() (any, uint64, error) { calls++; return "ok", 1, nil })
+	if err != nil || out != Miss {
+		t.Fatalf("retry after error: out=%v err=%v", out, err)
+	}
+	if calls != 2 {
+		t.Fatalf("miss ran %d times, want 2 (errors must not stick)", calls)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+// TestSingleflight proves the thundering-herd guarantee: G concurrent callers
+// of one key run the miss function exactly once and all receive its result.
+func TestSingleflight(t *testing.T) {
+	c := New(64)
+	const G = 32
+	var running atomic.Int32
+	gate := make(chan struct{})
+	var calls atomic.Int32
+	miss := func() (any, uint64, error) {
+		calls.Add(1)
+		<-gate // hold every waiter in the coalesced path
+		return "v", 3, nil
+	}
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, G)
+	for i := 0; i < G; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			running.Add(1)
+			v, ver, out, err := c.Do("hot", 3, miss)
+			if err != nil || v != "v" || ver != 3 {
+				t.Errorf("goroutine %d: %v %d %v", i, v, ver, err)
+			}
+			outcomes[i] = out
+		}(i)
+	}
+	// Wait until the leader is inside miss and the rest have piled up, then
+	// release. (The pile-up is not strictly guaranteed before gate closes,
+	// but calls==1 is guaranteed regardless of interleaving.)
+	for running.Load() < G {
+	}
+	close(gate)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("miss ran %d times under %d concurrent callers", calls.Load(), G)
+	}
+	nMiss := 0
+	for _, o := range outcomes {
+		if o == Miss {
+			nMiss++
+		}
+	}
+	if nMiss != 1 {
+		t.Fatalf("%d leaders, want exactly 1", nMiss)
+	}
+}
+
+func TestLRUEvictionAndStaleClassification(t *testing.T) {
+	c := New(1) // one entry per shard
+	// Two keys in the same shard: insert A, then B with a newer current
+	// version — A (version 1 < cur 2) must be evicted as stale.
+	var a, b string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shardFor(k) == &c.shards[0] {
+			if a == "" {
+				a = k
+			} else {
+				b = k
+				break
+			}
+		}
+	}
+	if _, _, _, err := c.Do(a, 1, func() (any, uint64, error) { return 1, 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Do(b, 2, func() (any, uint64, error) { return 2, 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.EvictedStale != 1 || st.EvictedCapacity != 0 {
+		t.Fatalf("evictions: stale=%d capacity=%d, want 1/0", st.EvictedStale, st.EvictedCapacity)
+	}
+	// A third key at the SAME version as the victim counts as capacity.
+	var d string
+	for i := 1000; ; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shardFor(k) == &c.shards[0] && k != a && k != b {
+			d = k
+			break
+		}
+	}
+	if _, _, _, err := c.Do(d, 2, func() (any, uint64, error) { return 3, 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.EvictedCapacity != 1 {
+		t.Fatalf("evictions after same-version insert: %+v", st)
+	}
+}
+
+func TestVersionedKeysCoexist(t *testing.T) {
+	c := New(64)
+	old, _, _, _ := c.Do("spsp|1|2|v1", 1, func() (any, uint64, error) { return "old", 1, nil })
+	nw, _, _, _ := c.Do("spsp|1|2|v2", 2, func() (any, uint64, error) { return "new", 2, nil })
+	if old != "old" || nw != "new" {
+		t.Fatalf("versioned entries collided: %v %v", old, nw)
+	}
+	if v, _, ok := c.Get("spsp|1|2|v2"); !ok || v != "new" {
+		t.Fatalf("Get: %v %v", v, ok)
+	}
+}
+
+// TestConcurrentMixedLoad shakes the cache under -race: many goroutines,
+// overlapping keys, rolling versions.
+func TestConcurrentMixedLoad(t *testing.T) {
+	c := New(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				ver := uint64(i / 40)
+				key := fmt.Sprintf("od|%d|%d", i%17, ver)
+				v, _, _, err := c.Do(key, ver, func() (any, uint64, error) { return i % 17, ver, nil })
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				if v.(int) != i%17 {
+					t.Errorf("key %s returned %v, want %d", key, v, i%17)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses+st.Coalesced != 8*400 {
+		t.Fatalf("accounting: hits+misses+coalesced = %d, want %d", st.Hits+st.Misses+st.Coalesced, 8*400)
+	}
+}

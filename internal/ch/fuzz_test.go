@@ -102,6 +102,57 @@ func FuzzLoadIndexPublic(f *testing.F) {
 	})
 }
 
+// FuzzReadIndex feeds mutated WriteIndex bundles into ReadIndex: the bundle
+// framing plus LoadIndex's validation must reject corruption cleanly — never
+// panic, hang, over-allocate, or load an index violating query invariants.
+func FuzzReadIndex(f *testing.F) {
+	env := getFuzzEnv(f)
+	x, err := LoadIndex(env.f, bytes.NewReader(env.public), func() []io.Reader {
+		rs := make([]io.Reader, len(env.shards))
+		for p := range rs {
+			rs[p] = bytes.NewReader(env.shards[p])
+		}
+		return rs
+	}())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var bundle bytes.Buffer
+	if err := x.WriteIndex(&bundle); err != nil {
+		f.Fatal(err)
+	}
+	valid := bundle.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:13]) // header + truncated section length
+	f.Add([]byte{})
+	for _, off := range []int{0, 4, 8, 12, 16, 20, len(valid) / 2, len(valid) - 8} {
+		if off >= 0 && off+4 <= len(valid) {
+			mut := append([]byte(nil), valid...)
+			mut[off] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, bundle []byte) {
+		env := getFuzzEnv(t)
+		x, err := ReadIndex(env.f, bytes.NewReader(bundle))
+		if err != nil {
+			return // clean rejection is the expected outcome for corrupt input
+		}
+		n := env.f.Graph().NumVertices()
+		for a := int32(0); a < int32(x.NumArcs()); a++ {
+			if int(x.Tail(a)) < 0 || int(x.Tail(a)) >= n || int(x.Head(a)) < 0 || int(x.Head(a)) >= n {
+				t.Fatalf("loaded index has arc %d with out-of-range endpoints", a)
+			}
+			for p := 0; p < env.f.P(); p++ {
+				if x.SiloWeight(p, a) <= 0 {
+					t.Fatalf("loaded index has non-positive weight (silo %d, arc %d)", p, a)
+				}
+			}
+		}
+	})
+}
+
 // FuzzLoadIndexShard mutates one weight shard while keeping the public part
 // valid: weights must be validated (positive, complete) or rejected cleanly.
 func FuzzLoadIndexShard(f *testing.F) {

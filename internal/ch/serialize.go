@@ -2,6 +2,7 @@ package ch
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -28,6 +29,7 @@ const (
 	indexMagic   = 0x46524f41 // "FROA"
 	indexVersion = 1
 	shardMagic   = 0x46525348 // "FRSH"
+	bundleMagic  = 0x46524958 // "FRIX" — WriteIndex/ReadIndex single-stream bundle
 )
 
 type binWriter struct {
@@ -243,38 +245,66 @@ func LoadIndex(f *fed.Federation, public io.Reader, shards []io.Reader) (*Index,
 				return nil, fmt.Errorf("ch: shortcut %d via vertex out of range", a)
 			}
 			ca, cb := x.childA[a], x.childB[a]
-			if ca < 0 || ca >= ai || cb < 0 || cb >= ai {
+			// Children may carry LARGER arc IDs than their parent: a dynamic
+			// update that refreshes an existing shortcut rewires it onto the
+			// newest minimum arcs between the same endpoints. Only the range
+			// is checkable while streaming; structural checks run below, once
+			// every arc is in memory.
+			if ca < 0 || int(ca) >= m || cb < 0 || int(cb) >= m {
 				return nil, fmt.Errorf("ch: shortcut %d has invalid children", a)
 			}
-			// A shortcut must actually compose its children around its via
-			// vertex, and the via vertex must have been contracted before
-			// both endpoints — the invariants every query and dynamic update
-			// relies on.
-			if x.tail[ca] != x.tail[a] || x.head[cb] != x.head[a] ||
-				x.head[ca] != v || x.tail[cb] != v {
-				return nil, fmt.Errorf("ch: shortcut %d children do not compose via vertex %d", a, v)
-			}
-			if x.rank[v] >= x.rank[x.tail[a]] || x.rank[v] >= x.rank[x.head[a]] {
-				return nil, fmt.Errorf("ch: shortcut %d via vertex does not rank below its endpoints", a)
-			}
-			x.hs.viaIndex[v] = append(x.hs.viaIndex[v], ai)
-			x.hs.parents[ca] = append(x.hs.parents[ca], ai)
-			x.hs.parents[cb] = append(x.hs.parents[cb], ai)
 		}
+	}
+	for a := 0; a < m; a++ {
+		if x.via[a] == NoShortcut {
+			continue
+		}
+		ai := int32(a)
+		v := x.via[a]
+		ca, cb := x.childA[a], x.childB[a]
+		// A shortcut must actually compose its children around its via
+		// vertex, and the via vertex must have been contracted before
+		// both endpoints — the invariants every query and dynamic update
+		// relies on. They also make the child relation acyclic: a child
+		// shortcut's via vertex is an endpoint of the parent's via vertex's
+		// arcs, so its rank is strictly below the parent's via rank.
+		if x.tail[ca] != x.tail[a] || x.head[cb] != x.head[a] ||
+			x.head[ca] != v || x.tail[cb] != v {
+			return nil, fmt.Errorf("ch: shortcut %d children do not compose via vertex %d", a, v)
+		}
+		if x.rank[v] >= x.rank[x.tail[a]] || x.rank[v] >= x.rank[x.head[a]] {
+			return nil, fmt.Errorf("ch: shortcut %d via vertex does not rank below its endpoints", a)
+		}
+		x.hs.viaIndex[v] = append(x.hs.viaIndex[v], ai)
+		x.hs.parents[ca] = append(x.hs.parents[ca], ai)
+		x.hs.parents[cb] = append(x.hs.parents[cb], ai)
 	}
 	// Reject shortcut trees that unpack into longer walks than any simple
 	// path admits (a corrupt file could share children Fibonacci-style and
-	// make Unpack explode exponentially). Children precede parents in arc
-	// order, so one ascending pass suffices.
+	// make Unpack explode exponentially). Children do not necessarily precede
+	// parents in arc order (see above), so walk the child DAG with
+	// memoization; the via-rank check just validated bounds the recursion
+	// depth by n, and rules out cycles.
 	pathLen := make([]int64, m)
-	for a := 0; a < m; a++ {
+	var unpackLen func(a int32) int64
+	unpackLen = func(a int32) int64 {
+		if pathLen[a] != 0 {
+			return pathLen[a]
+		}
 		if x.via[a] == NoShortcut {
 			pathLen[a] = 1
-			continue
+			return 1
 		}
-		pathLen[a] = pathLen[x.childA[a]] + pathLen[x.childB[a]]
-		if pathLen[a] > int64(n) {
-			return nil, fmt.Errorf("ch: shortcut %d unpacks to %d arcs (max %d)", a, pathLen[a], n)
+		l := unpackLen(x.childA[a]) + unpackLen(x.childB[a])
+		if l > int64(n) {
+			l = int64(n) + 1 // clamp; rejected below
+		}
+		pathLen[a] = l
+		return l
+	}
+	for a := int32(0); a < int32(m); a++ {
+		if unpackLen(a) > int64(n) {
+			return nil, fmt.Errorf("ch: shortcut %d unpacks to more than %d arcs", a, n)
 		}
 	}
 	for v := 0; v < n; v++ {
@@ -367,4 +397,106 @@ func LoadIndex(f *fed.Federation, public io.Reader, shards []io.Reader) (*Index,
 	}
 	x.buildStats = BuildStats{Shortcuts: x.NumShortcuts()}
 	return x, nil
+}
+
+// maxBundleSection bounds one section of a WriteIndex bundle on the read
+// path, so a corrupt length prefix cannot demand a pathological allocation
+// before LoadIndex's own validation ever runs.
+const maxBundleSection = 1 << 31
+
+// WriteIndex serializes the complete index — the public structure plus every
+// silo's private weight shard — as one versioned stream of length-prefixed
+// sections. This is the single-process serving-tier format (fedserver
+// -persist): the simulation holds all shards anyway, and bundling them lets
+// a restart restore the index with one file read instead of an MPC rebuild.
+// A real multi-silo deployment persists along the privacy boundary with
+// WritePublic/WriteSiloWeights instead.
+func (x *Index) WriteIndex(w io.Writer) error {
+	cw := &binWriter{w: bufio.NewWriter(w)}
+	for _, v := range []uint32{bundleMagic, indexVersion, uint32(len(x.siloW))} {
+		if err := cw.u32(v); err != nil {
+			return err
+		}
+	}
+	section := func(write func(io.Writer) error) error {
+		// Sections are buffered once to learn their length; the public part
+		// and each shard are a fraction of the in-memory index, so the peak
+		// is bounded by the largest single section, not the bundle.
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			return err
+		}
+		if err := cw.i64(int64(buf.Len())); err != nil {
+			return err
+		}
+		_, err := cw.w.Write(buf.Bytes())
+		return err
+	}
+	if err := section(x.WritePublic); err != nil {
+		return err
+	}
+	for p := range x.siloW {
+		p := p
+		if err := section(func(w io.Writer) error { return x.WriteSiloWeights(p, w) }); err != nil {
+			return err
+		}
+	}
+	return cw.w.Flush()
+}
+
+// ReadIndex reassembles an index from a WriteIndex bundle. All structural
+// validation — rank permutation, shortcut composition, path-length bounds,
+// shard weight positivity — is exactly LoadIndex's: the bundle framing only
+// splits the stream back into the public part and the per-silo shards.
+func ReadIndex(f *fed.Federation, r io.Reader) (*Index, error) {
+	rd := &reader{r: bufio.NewReader(r)}
+	var hdr [3]uint32
+	for i := range hdr {
+		v, err := rd.u32()
+		if err != nil {
+			return nil, fmt.Errorf("ch: bundle header: %w", err)
+		}
+		hdr[i] = v
+	}
+	if hdr[0] != bundleMagic {
+		return nil, fmt.Errorf("ch: bundle bad magic %#x", hdr[0])
+	}
+	if hdr[1] != indexVersion {
+		return nil, fmt.Errorf("ch: bundle unsupported version %d", hdr[1])
+	}
+	if int(hdr[2]) != f.P() {
+		return nil, fmt.Errorf("ch: bundle carries %d shards, federation has %d silos", hdr[2], f.P())
+	}
+	section := func() (*bytes.Reader, error) {
+		n, err := rd.i64()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > maxBundleSection {
+			return nil, fmt.Errorf("ch: implausible bundle section length %d", n)
+		}
+		// ReadAll grows with the bytes that actually arrive, so a lying
+		// length on a truncated stream errors instead of allocating n.
+		data, err := io.ReadAll(io.LimitReader(rd.r, n))
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(data)) != n {
+			return nil, fmt.Errorf("ch: bundle section truncated (%d of %d bytes)", len(data), n)
+		}
+		return bytes.NewReader(data), nil
+	}
+	public, err := section()
+	if err != nil {
+		return nil, fmt.Errorf("ch: bundle public section: %w", err)
+	}
+	shards := make([]io.Reader, f.P())
+	for p := range shards {
+		sr, err := section()
+		if err != nil {
+			return nil, fmt.Errorf("ch: bundle shard %d: %w", p, err)
+		}
+		shards[p] = sr
+	}
+	return LoadIndex(f, public, shards)
 }

@@ -156,6 +156,78 @@ func TestLoadIndexRejectsCorruptInput(t *testing.T) {
 	}
 }
 
+func TestIndexBundleRoundTrip(t *testing.T) {
+	f, x := buildTestIndex(t, 8, 8, 79)
+	var bundle bytes.Buffer
+	if err := x.WriteIndex(&bundle); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(f, &bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumArcs() != x.NumArcs() || loaded.NumShortcuts() != x.NumShortcuts() {
+		t.Fatalf("size mismatch after bundle reload: %d/%d arcs, %d/%d shortcuts",
+			loaded.NumArcs(), x.NumArcs(), loaded.NumShortcuts(), x.NumShortcuts())
+	}
+	for a := int32(0); a < int32(x.NumArcs()); a++ {
+		if x.Tail(a) != loaded.Tail(a) || x.Head(a) != loaded.Head(a) || x.Via(a) != loaded.Via(a) {
+			t.Fatalf("arc %d structure changed", a)
+		}
+		for p := 0; p < f.P(); p++ {
+			if x.SiloWeight(p, a) != loaded.SiloWeight(p, a) {
+				t.Fatalf("arc %d silo %d weight changed", a, p)
+			}
+		}
+	}
+	joint := f.JointWeights()
+	rng := rand.New(rand.NewPCG(5, 5))
+	for trial := 0; trial < 30; trial++ {
+		s := graph.Vertex(rng.IntN(f.Graph().NumVertices()))
+		tt := graph.Vertex(rng.IntN(f.Graph().NumVertices()))
+		want, _ := graph.DijkstraTo(f.Graph(), joint, s, tt)
+		if got := chQueryJoint(loaded, s, tt); got != want {
+			t.Fatalf("bundle-reloaded index: dist(%d,%d) = %d, want %d", s, tt, got, want)
+		}
+	}
+}
+
+func TestReadIndexRejectsCorruptBundle(t *testing.T) {
+	f, x := buildTestIndex(t, 6, 6, 83)
+	var bundle bytes.Buffer
+	if err := x.WriteIndex(&bundle); err != nil {
+		t.Fatal(err)
+	}
+	good := bundle.Bytes()
+
+	if _, err := ReadIndex(f, bytes.NewReader(good)); err != nil {
+		t.Fatalf("good bundle rejected: %v", err)
+	}
+	if _, err := ReadIndex(f, bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty bundle accepted")
+	}
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xff
+	if _, err := ReadIndex(f, bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+	for _, frac := range []int{4, 2, 1} { // truncations at various depths
+		cut := len(good) * (frac - 1) / frac
+		if cut >= len(good) {
+			cut = len(good) - 1
+		}
+		if _, err := ReadIndex(f, bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("bundle truncated to %d/%d bytes accepted", cut, len(good))
+		}
+	}
+	// A lying section length on a truncated stream must error, not allocate.
+	lying := append([]byte{}, good[:12]...)
+	lying = append(lying, []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}...) // section "length" 2^31-1
+	if _, err := ReadIndex(f, bytes.NewReader(lying)); err == nil {
+		t.Fatal("lying section length accepted")
+	}
+}
+
 func TestWriteSiloWeightsRange(t *testing.T) {
 	_, x := buildTestIndex(t, 5, 5, 73)
 	var b bytes.Buffer

@@ -1,0 +1,95 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SoakReport is the BENCH_soak.json document: the mixed-workload serving-tier
+// soak (queries racing traffic updates racing index rebuilds, all through the
+// admission gate and the result cache) plus the warm-cache throughput
+// comparison. The schema lives here — away from the soak driver — so report
+// consumers (benchgate, CI scripts) can decode it without linking the
+// federation. cmd/benchgate skips any report whose experiment is not
+// "index-build", so a committed BENCH_soak.json never trips the perf gate.
+type SoakReport struct {
+	Experiment string `json:"experiment"` // always "soak"
+	Vertices   int    `json:"vertices"`
+	Silos      int    `json:"silos"`
+	DurationMs int64  `json:"duration_ms"`
+
+	// Mixed phase: everything raced everything for DurationMs.
+	Queries        int64 `json:"queries"`
+	TrafficBatches int64 `json:"traffic_batches"`
+	Rebuilds       int64 `json:"rebuilds"`
+	BuildConflicts int64 `json:"build_conflicts"`
+
+	// Staleness oracle: every response replayed against plaintext Dijkstra at
+	// the traffic version it echoed. Any violation fails CI.
+	OracleChecks     int64 `json:"oracle_checks"`
+	OracleViolations int64 `json:"oracle_violations"`
+
+	// Admission accounting: Admitted+Shed must equal every admission attempt.
+	Admitted     int64 `json:"admitted"`
+	Shed         int64 `json:"shed"`
+	AccountingOK bool  `json:"accounting_ok"`
+
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheCoalesced int64 `json:"cache_coalesced"`
+
+	// Throughput phase: repeated-OD queries, warm cache vs no cache.
+	WarmCacheQPS float64 `json:"warm_cache_qps"`
+	UncachedQPS  float64 `json:"uncached_qps"`
+	CacheSpeedup float64 `json:"cache_speedup"`
+}
+
+// Violations reports whether the soak uncovered a correctness failure (stale
+// serve or broken shed accounting) — the condition CI fails on.
+func (r SoakReport) Violations() []string {
+	var v []string
+	if r.OracleViolations > 0 {
+		v = append(v, fmt.Sprintf("%d stale-serve oracle violations", r.OracleViolations))
+	}
+	if !r.AccountingOK {
+		v = append(v, fmt.Sprintf("admission accounting broken: admitted %d + shed %d != attempts", r.Admitted, r.Shed))
+	}
+	if r.OracleChecks == 0 {
+		v = append(v, "oracle checked nothing")
+	}
+	return v
+}
+
+// Print renders the human-readable summary.
+func (r SoakReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "soak: %d vertices, %d silos, %dms mixed phase\n", r.Vertices, r.Silos, r.DurationMs)
+	fmt.Fprintf(w, "  queries %d  traffic batches %d  rebuilds %d (%d conflicts)\n",
+		r.Queries, r.TrafficBatches, r.Rebuilds, r.BuildConflicts)
+	fmt.Fprintf(w, "  oracle: %d checks, %d violations\n", r.OracleChecks, r.OracleViolations)
+	fmt.Fprintf(w, "  admission: %d admitted, %d shed, accounting ok: %v\n", r.Admitted, r.Shed, r.AccountingOK)
+	fmt.Fprintf(w, "  cache: %d hits, %d misses, %d coalesced\n", r.CacheHits, r.CacheMisses, r.CacheCoalesced)
+	fmt.Fprintf(w, "  throughput (repeated OD): warm cache %.0f qps vs uncached %.0f qps (%.1fx)\n",
+		r.WarmCacheQPS, r.UncachedQPS, r.CacheSpeedup)
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r SoakReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r SoakReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("expr: soak report: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("expr: soak report: %w", err)
+	}
+	return f.Close()
+}

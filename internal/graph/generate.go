@@ -390,7 +390,19 @@ func Datasets() []DatasetSpec {
 	}
 }
 
-// GenerateDataset materializes a named dataset. It panics on unknown names.
+// FindDataset looks up a named dataset spec without materializing it — the
+// non-panicking existence check for callers handling user-supplied names.
+func FindDataset(name string) (DatasetSpec, bool) {
+	for _, spec := range Datasets() {
+		if spec.Name == name {
+			return spec, true
+		}
+	}
+	return DatasetSpec{}, false
+}
+
+// GenerateDataset materializes a named dataset. It panics on unknown names;
+// callers taking names from user input should check FindDataset first.
 func GenerateDataset(name string) (*Graph, Weights, DatasetSpec) {
 	for _, spec := range Datasets() {
 		if spec.Name != name {

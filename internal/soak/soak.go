@@ -1,0 +1,340 @@
+// Package soak drives the serving-tier mixed-workload soak: concurrent
+// queries racing traffic updates racing index rebuilds, all flowing through
+// the admission gate and the traffic-version-keyed result cache — the exact
+// contention fedserver sees in production, compressed into seconds. Every
+// response is replayed against plaintext Dijkstra at the traffic version it
+// echoed (the staleness oracle), and the admission counters are checked for
+// exact accounting. A second phase measures repeated-OD throughput with a
+// warm cache against the uncached engine. fedbench's soak subcommand writes
+// the result as BENCH_soak.json (see internal/expr.SoakReport).
+package soak
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fedroad "repro"
+	"repro/internal/admit"
+	"repro/internal/expr"
+	"repro/internal/graph"
+)
+
+// Config sizes the soak. The zero value is not runnable; use Defaults.
+type Config struct {
+	Vertices int           // road-network size
+	Silos    int           // private weight shards
+	Seed     uint64        // deterministic topology + workload
+	Duration time.Duration // mixed-phase length (the throughput phase reuses it, split in half per leg)
+	Workers  int           // concurrent query workers
+	// AdmitLimit bounds the in-system query population. Deliberately below
+	// Workers so overload is real and the shed path gets exercised — the
+	// accounting invariant is vacuous if nothing ever sheds.
+	AdmitLimit int
+	CacheCap   int // result-cache entries
+	Pairs      int // OD-pair pool size (small ⇒ cache pressure is real)
+}
+
+// Defaults fills unset fields with the CI smoke scale.
+func Defaults(c Config) Config {
+	if c.Vertices == 0 {
+		c.Vertices = 300
+	}
+	if c.Silos == 0 {
+		c.Silos = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.AdmitLimit == 0 {
+		c.AdmitLimit = c.Workers/2 + 1
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 1024
+	}
+	if c.Pairs == 0 {
+		c.Pairs = 12
+	}
+	return c
+}
+
+// observation is one served response awaiting its oracle replay.
+type observation struct {
+	src, dst fedroad.Vertex
+	route    fedroad.Route
+	ver      uint64
+}
+
+// Run executes the soak and returns the report. It is deterministic in
+// workload shape (topology, update stream, OD pairs) but not in interleaving
+// — that is the point.
+func Run(cfg Config) (*expr.SoakReport, error) {
+	cfg = Defaults(cfg)
+	g, w0 := fedroad.GenerateRoadNetwork(cfg.Vertices, cfg.Seed)
+	silos := fedroad.SimulateCongestion(w0, cfg.Silos, fedroad.Moderate, cfg.Seed+1)
+	f, err := fedroad.New(g, w0, silos, fedroad.Config{Seed: cfg.Seed + 2})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := f.BuildIndex(); err != nil {
+		return nil, err
+	}
+	qc := f.NewQueryCache(cfg.CacheCap)
+	gate := admit.New(cfg.AdmitLimit, nil)
+
+	rep := &expr.SoakReport{
+		Experiment: "soak",
+		Vertices:   g.NumVertices(),
+		Silos:      cfg.Silos,
+		DurationMs: cfg.Duration.Milliseconds(),
+	}
+
+	// Shadow staleness oracle: traffic version → plaintext joint weights.
+	// The federation never exposes the private silo weights, so the soak
+	// tracks its own copy — the initial congestion sets plus every update the
+	// (single) updater applies — and records the summed joint per version.
+	shadow := make([]fedroad.Weights, len(silos))
+	for p, set := range silos {
+		shadow[p] = append(fedroad.Weights(nil), set...)
+	}
+	oracle := map[uint64]fedroad.Weights{f.TrafficVersion(): jointOf(shadow, g.NumArcs())}
+	var oracleMu sync.Mutex
+
+	pairs := make([][2]fedroad.Vertex, cfg.Pairs)
+	prng := rand.New(rand.NewPCG(cfg.Seed+3, 0))
+	for i := range pairs {
+		pairs[i] = [2]fedroad.Vertex{
+			fedroad.Vertex(prng.IntN(g.NumVertices())),
+			fedroad.Vertex(prng.IntN(g.NumVertices())),
+		}
+	}
+
+	var (
+		stop     atomic.Bool
+		attempts atomic.Int64
+		queries  atomic.Int64
+		batches  atomic.Int64
+		rebuilds atomic.Int64
+		conflict atomic.Int64
+		errCh    = make(chan error, cfg.Workers+2)
+		obs      = make([][]observation, cfg.Workers)
+		wg       sync.WaitGroup
+	)
+
+	// Query workers: gate → cache → session. Shed attempts retry after a
+	// beat, exactly like a client honoring Retry-After.
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := f.Session()
+			defer s.Close()
+			rng := rand.New(rand.NewPCG(cfg.Seed+4, uint64(w)))
+			for !stop.Load() {
+				p := pairs[rng.IntN(len(pairs))]
+				attempts.Add(1)
+				if err := gate.Acquire(); err != nil {
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				route, _, ver, _, qerr := qc.ShortestPath(p[0], p[1], fedroad.QueryOptions{},
+					func() (fedroad.Route, fedroad.Stats, uint64, error) {
+						return s.ShortestPathAt(p[0], p[1])
+					})
+				gate.Release()
+				if qerr != nil {
+					errCh <- fmt.Errorf("soak query: %w", qerr)
+					return
+				}
+				queries.Add(1)
+				obs[w] = append(obs[w], observation{p[0], p[1], route, ver})
+			}
+		}(w)
+	}
+
+	// Updater: small traffic batches, each recorded in the oracle.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(cfg.Seed+5, 0))
+		for !stop.Load() {
+			n := 1 + rng.IntN(3)
+			ups := make([]fedroad.TrafficUpdate, n)
+			for i := range ups {
+				ups[i] = fedroad.TrafficUpdate{
+					Silo:     rng.IntN(cfg.Silos),
+					Arc:      fedroad.Arc(rng.IntN(g.NumArcs())),
+					TravelMs: int64(1 + rng.IntN(120000)),
+				}
+			}
+			if _, uerr := f.ApplyTraffic(ups); uerr != nil {
+				errCh <- fmt.Errorf("soak traffic: %w", uerr)
+				return
+			}
+			oracleMu.Lock()
+			for _, u := range ups {
+				shadow[u.Silo][u.Arc] = u.TravelMs
+			}
+			oracle[f.TrafficVersion()] = jointOf(shadow, g.NumArcs())
+			oracleMu.Unlock()
+			batches.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Rebuilder: full off-lock index rebuilds racing everything. A build that
+	// loses the race to a traffic update is abandoned with ErrBuildConflict —
+	// expected, counted, not fatal.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			switch err := f.BuildIndex(); {
+			case err == nil:
+				rebuilds.Add(1)
+			case errors.Is(err, fedroad.ErrBuildConflict):
+				conflict.Add(1)
+			default:
+				errCh <- fmt.Errorf("soak rebuild: %w", err)
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+
+	rep.Queries = queries.Load()
+	rep.TrafficBatches = batches.Load()
+	rep.Rebuilds = rebuilds.Load()
+	rep.BuildConflicts = conflict.Load()
+
+	// Replay every response against the oracle at its echoed version.
+	for _, list := range obs {
+		for _, o := range list {
+			joint, ok := oracle[o.ver]
+			if !ok {
+				rep.OracleViolations++ // echoed a version that never existed
+				continue
+			}
+			rep.OracleChecks++
+			want, _ := graph.DijkstraTo(g, joint, o.src, o.dst)
+			switch {
+			case want >= graph.InfCost:
+				if o.route.Found {
+					rep.OracleViolations++
+				}
+			case !o.route.Found, fedroad.JointCost(o.route) != want:
+				rep.OracleViolations++
+			}
+		}
+	}
+
+	gs := gate.Stats()
+	rep.Admitted = gs.Admitted
+	rep.Shed = gs.Shed
+	rep.AccountingOK = gs.Admitted+gs.Shed == attempts.Load() && gs.Depth == 0
+
+	cs := qc.Stats()
+	rep.CacheHits = int64(cs.Hits)
+	rep.CacheMisses = int64(cs.Misses)
+	rep.CacheCoalesced = int64(cs.Coalesced)
+
+	// Throughput phase: repeated-OD serving, warm cache vs no cache. The
+	// traffic is quiet now, so the cache stays warm after one priming pass.
+	leg := cfg.Duration / 2
+	if leg < 250*time.Millisecond {
+		leg = 250 * time.Millisecond
+	}
+	uncached, err := measureQPS(f, pairs, leg, nil)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := measureQPS(f, pairs, leg, qc)
+	if err != nil {
+		return nil, err
+	}
+	rep.UncachedQPS = uncached
+	rep.WarmCacheQPS = warm
+	if uncached > 0 {
+		rep.CacheSpeedup = warm / uncached
+	}
+	return rep, nil
+}
+
+// measureQPS hammers the OD pool round-robin for the window from one
+// goroutine per two pairs, counting completed queries. With qc non-nil every
+// query flows through the cache (primed by its first pass); with qc nil each
+// runs the engine.
+func measureQPS(f *fedroad.Federation, pairs [][2]fedroad.Vertex, window time.Duration, qc *fedroad.QueryCache) (float64, error) {
+	workers := len(pairs)/2 + 1
+	var (
+		stop  atomic.Bool
+		count atomic.Int64
+		wg    sync.WaitGroup
+		errCh = make(chan error, workers)
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := f.Session()
+			defer s.Close()
+			for i := w; !stop.Load(); i++ {
+				p := pairs[i%len(pairs)]
+				var err error
+				if qc != nil {
+					_, _, _, _, err = qc.ShortestPath(p[0], p[1], fedroad.QueryOptions{},
+						func() (fedroad.Route, fedroad.Stats, uint64, error) {
+							return s.ShortestPathAt(p[0], p[1])
+						})
+				} else {
+					_, _, err = s.ShortestPath(p[0], p[1])
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				count.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return 0, err
+	}
+	return float64(count.Load()) / time.Since(start).Seconds(), nil
+}
+
+// jointOf sums the shadow silo weights into the plaintext joint vector the
+// oracle compares against. Callers must hold oracleMu (or the single-updater
+// role before workers start).
+func jointOf(shadow []fedroad.Weights, numArcs int) fedroad.Weights {
+	joint := make(fedroad.Weights, numArcs)
+	for _, w := range shadow {
+		for a := range joint {
+			joint[a] += w[a]
+		}
+	}
+	return joint
+}

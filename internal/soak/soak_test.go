@@ -1,0 +1,39 @@
+package soak
+
+import (
+	"testing"
+	"time"
+)
+
+// A short full soak: the mixed phase must serve queries with zero oracle
+// violations and exact admission accounting, and the throughput phase must
+// show the warm cache beating the uncached engine on repeated OD pairs.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak takes a second of wall time")
+	}
+	rep, err := Run(Config{
+		Vertices: 150,
+		Duration: 600 * time.Millisecond,
+		Workers:  6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := rep.Violations(); len(vs) != 0 {
+		t.Fatalf("soak violations: %v", vs)
+	}
+	if rep.Queries == 0 || rep.TrafficBatches == 0 {
+		t.Fatalf("soak did nothing: %+v", rep)
+	}
+	if rep.OracleChecks != rep.Queries {
+		t.Fatalf("checked %d of %d responses", rep.OracleChecks, rep.Queries)
+	}
+	if rep.CacheHits+rep.CacheMisses+rep.CacheCoalesced != rep.Queries {
+		t.Fatalf("cache accounting: %d+%d+%d != %d queries",
+			rep.CacheHits, rep.CacheMisses, rep.CacheCoalesced, rep.Queries)
+	}
+	if rep.WarmCacheQPS <= rep.UncachedQPS {
+		t.Fatalf("warm cache %.0f qps not faster than uncached %.0f qps", rep.WarmCacheQPS, rep.UncachedQPS)
+	}
+}

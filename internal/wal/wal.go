@@ -1,0 +1,163 @@
+// Package wal is a minimal crash-tolerant write-ahead log plus an atomic
+// snapshot writer — the durability layer under fedserver's -persist mode. A
+// crash today costs a multi-minute MPC index rebuild; with a snapshot and a
+// delta log it costs a file read and a handful of partial index updates.
+//
+// The log is a flat sequence of length-and-CRC framed records:
+//
+//	[u32 payload length][u32 CRC-32 (IEEE) of payload][payload bytes]
+//
+// Replay trusts exactly the prefix that frames and checksums correctly: a
+// record cut off mid-write by a crash (short header, short payload, or a CRC
+// mismatch) ends the replay cleanly at the last good offset instead of
+// failing it — the torn tail is the expected crash artifact, and callers
+// truncate to the good offset before appending again. Anything the framing
+// accepts but the caller's decoder rejects is real corruption and does fail.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// MaxRecord bounds a single record's payload. A corrupt length prefix must
+// not become a multi-gigabyte allocation; any plausible traffic-delta batch
+// is far below this.
+const MaxRecord = 64 << 20
+
+// WAL is an append-only log handle. Appends are synchronous (fsync per
+// record): a record that Append returned nil for survives a crash.
+type WAL struct {
+	f *os.File
+}
+
+// Open opens (creating if absent) the log at path for appending. The caller
+// must have replayed and truncated any torn tail first — see Replay — or the
+// new records would land after garbage.
+func Open(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &WAL{f: f}, nil
+}
+
+// Append durably writes one record.
+func (w *WAL) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(payload))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	// A single Write keeps the header and payload in one syscall; a crash
+	// mid-write leaves a short tail, which Replay discards.
+	buf := append(hdr[:], payload...)
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Reset empties the log — called right after a snapshot supersedes every
+// logged delta.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	return w.f.Sync()
+}
+
+// Close closes the log file.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// Replay streams every intact record of the log at path through fn, in
+// order. It returns the record count, the byte offset just past the last
+// intact record, and whether a torn tail was discarded (truncated=true means
+// the file holds bytes past goodOffset that do not frame or checksum — the
+// normal artifact of a crash mid-append; callers should os.Truncate the
+// file to goodOffset before reopening it for appends). A missing file is an
+// empty log. An error from fn aborts the replay and is returned as a hard
+// error: framing-valid records that fail to decode are corruption, not a
+// crash artifact.
+func Replay(path string, fn func(payload []byte) error) (n int, goodOffset int64, truncated bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, false, nil
+	}
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var off int64
+	var hdr [8]byte
+	for {
+		if _, rerr := io.ReadFull(f, hdr[:]); rerr != nil {
+			// Clean EOF at a record boundary ends the log; a partial header
+			// is a torn tail.
+			return n, off, !errors.Is(rerr, io.EOF), nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxRecord {
+			// A length the writer could never have produced: treat as a torn
+			// tail rather than allocating by it.
+			return n, off, true, nil
+		}
+		payload := make([]byte, length)
+		if _, rerr := io.ReadFull(f, payload); rerr != nil {
+			return n, off, true, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return n, off, true, nil
+		}
+		if ferr := fn(payload); ferr != nil {
+			return n, off, false, fmt.Errorf("wal: record %d: %w", n, ferr)
+		}
+		n++
+		off += int64(8 + len(payload))
+	}
+}
+
+// WriteFileAtomic writes a file via write-to-temp, fsync, rename — the
+// snapshot discipline: readers only ever observe the previous complete file
+// or the new complete file, never a half-written one.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("wal: atomic write: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: atomic write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: atomic write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: atomic write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("wal: atomic write: %w", err)
+	}
+	// Make the rename itself durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

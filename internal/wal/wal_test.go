@@ -1,0 +1,212 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func replayAll(t *testing.T, path string) (recs [][]byte, goodOff int64, truncated bool) {
+	t.Helper()
+	n, off, trunc, err := Replay(path, func(p []byte) error {
+		recs = append(recs, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) {
+		t.Fatalf("Replay reported %d records, delivered %d", n, len(recs))
+	}
+	return recs, off, trunc
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("one"), []byte(""), bytes.Repeat([]byte{0xab}, 4096)}
+	for _, p := range want {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, truncated := replayAll(t, path)
+	if truncated {
+		t.Fatal("clean log reported truncated")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReplayMissingFileIsEmpty(t *testing.T) {
+	recs, off, truncated := replayAll(t, filepath.Join(t.TempDir(), "absent.wal"))
+	if len(recs) != 0 || off != 0 || truncated {
+		t.Fatalf("missing file: %d recs, off %d, truncated %v", len(recs), off, truncated)
+	}
+}
+
+// TestTornTail simulates a crash mid-append at every possible cut point of
+// the final record: replay must return exactly the intact prefix with
+// truncated=true, and truncating to goodOffset must let appends resume.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	w, err := Open(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("first record")); err != nil {
+		t.Fatal(err)
+	}
+	goodLen := int64(8 + len("first record"))
+	if err := w.Append([]byte("second record, to be torn")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := goodLen + 1; cut < int64(len(data)); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut%d.wal", cut))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, off, truncated := replayAll(t, path)
+		if len(recs) != 1 || string(recs[0]) != "first record" {
+			t.Fatalf("cut %d: got %d records", cut, len(recs))
+		}
+		if !truncated {
+			t.Fatalf("cut %d: torn tail not reported", cut)
+		}
+		if off != goodLen {
+			t.Fatalf("cut %d: goodOffset %d, want %d", cut, off, goodLen)
+		}
+		// Recovery: truncate and append again.
+		if err := os.Truncate(path, off); err != nil {
+			t.Fatal(err)
+		}
+		w2, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Append([]byte("recovered")); err != nil {
+			t.Fatal(err)
+		}
+		w2.Close()
+		recs, _, truncated = replayAll(t, path)
+		if truncated || len(recs) != 2 || string(recs[1]) != "recovered" {
+			t.Fatalf("cut %d after recovery: %d records, truncated %v", cut, len(recs), truncated)
+		}
+	}
+}
+
+func TestCorruptCRCStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, _ := Open(path)
+	w.Append([]byte("good"))
+	w.Append([]byte("flipped"))
+	w.Close()
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff // corrupt last payload byte
+	os.WriteFile(path, data, 0o644)
+	recs, off, truncated := replayAll(t, path)
+	if len(recs) != 1 || !truncated {
+		t.Fatalf("%d records, truncated %v", len(recs), truncated)
+	}
+	if off != int64(8+len("good")) {
+		t.Fatalf("goodOffset %d", off)
+	}
+}
+
+func TestImplausibleLengthIsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, _ := Open(path)
+	w.Append([]byte("ok"))
+	w.Close()
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	// Header claiming a 3GiB record: must end replay, not allocate.
+	f.Write([]byte{0xff, 0xff, 0xff, 0xbf, 0, 0, 0, 0})
+	f.Close()
+	recs, _, truncated := replayAll(t, path)
+	if len(recs) != 1 || !truncated {
+		t.Fatalf("%d records, truncated %v", len(recs), truncated)
+	}
+}
+
+func TestDecoderErrorIsHard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, _ := Open(path)
+	w.Append([]byte("valid framing, broken content"))
+	w.Close()
+	_, _, _, err := Replay(path, func([]byte) error { return fmt.Errorf("decode failed") })
+	if err == nil {
+		t.Fatal("decoder error swallowed — framing-valid garbage must fail replay")
+	}
+}
+
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, _ := Open(path)
+	defer w.Close()
+	if err := w.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, _ := Open(path)
+	w.Append([]byte("pre-snapshot"))
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	w.Append([]byte("post-snapshot"))
+	w.Close()
+	recs, _, _ := replayAll(t, path)
+	if len(recs) != 1 || string(recs[0]) != "post-snapshot" {
+		t.Fatalf("after reset: %q", recs)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("v1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failed write must leave the previous file untouched and no temp
+	// droppings behind.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("half"))
+		return fmt.Errorf("simulated crash")
+	}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "v1" {
+		t.Fatalf("previous file damaged: %q, %v", data, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}

@@ -103,6 +103,15 @@ func (s *Session) checkVertex(name string, v Vertex) error {
 // ShortestPath answers a federated single-pair shortest-path query on this
 // session, under the federation's read lock.
 func (s *Session) ShortestPath(src, dst Vertex, opts ...QueryOptions) (Route, Stats, error) {
+	route, stats, _, err := s.ShortestPathAt(src, dst, opts...)
+	return route, stats, err
+}
+
+// ShortestPathAt is ShortestPath plus the traffic version the answer was
+// computed at, captured under the same read lock as the search itself — so
+// the result is exact for precisely that version. Serving tiers echo it to
+// clients and key caches by it.
+func (s *Session) ShortestPathAt(src, dst Vertex, opts ...QueryOptions) (Route, Stats, uint64, error) {
 	opt, err := oneOpt(opts)
 	if err == nil {
 		err = validateOptions(opt, false)
@@ -115,16 +124,17 @@ func (s *Session) ShortestPath(src, dst Vertex, opts ...QueryOptions) (Route, St
 	}
 	if err != nil {
 		s.f.recordQuery("spsp", Stats{}, err)
-		return Route{}, Stats{}, err
+		return Route{}, Stats{}, 0, err
 	}
 	if opt.Estimator == FedALT || opt.Estimator == FedALTMax {
 		s.f.ensureLandmarks()
 	}
 	s.f.mu.RLock()
 	defer s.f.mu.RUnlock()
+	ver := s.f.trafficVer
 	route, stats, err := s.shortestPathLocked(src, dst, opt)
 	s.f.recordQuery("spsp", stats, err)
-	return route, stats, err
+	return route, stats, ver, err
 }
 
 // shortestPathLocked runs the query body; the caller holds f.mu (read).
@@ -145,6 +155,14 @@ func (s *Session) shortestPathLocked(src, dst Vertex, opt QueryOptions) (Route, 
 // and BatchedMPC options apply; estimator options are rejected (there is no
 // fixed target to estimate toward) and NoIndex is implied.
 func (s *Session) NearestNeighbors(src Vertex, k int, opts ...QueryOptions) ([]Route, Stats, error) {
+	routes, stats, _, err := s.NearestNeighborsAt(src, k, opts...)
+	return routes, stats, err
+}
+
+// NearestNeighborsAt is NearestNeighbors plus the traffic version the answer
+// was computed at, captured under the same read lock as the search (see
+// ShortestPathAt).
+func (s *Session) NearestNeighborsAt(src Vertex, k int, opts ...QueryOptions) ([]Route, Stats, uint64, error) {
 	opt, err := oneOpt(opts)
 	if err == nil {
 		err = validateOptions(opt, true)
@@ -157,13 +175,14 @@ func (s *Session) NearestNeighbors(src Vertex, k int, opts ...QueryOptions) ([]R
 	}
 	if err != nil {
 		s.f.recordQuery("sssp", Stats{}, err)
-		return nil, Stats{}, err
+		return nil, Stats{}, 0, err
 	}
 	s.f.mu.RLock()
 	defer s.f.mu.RUnlock()
+	ver := s.f.trafficVer
 	routes, stats, err := s.nearestNeighborsLocked(src, k, opt)
 	s.f.recordQuery("sssp", stats, err)
-	return routes, stats, err
+	return routes, stats, ver, err
 }
 
 // nearestNeighborsLocked runs the query body; the caller holds f.mu (read).
