@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/mpc"
+	"repro/internal/transport"
+)
+
+// meshBenchConfig parameterizes the mesh-vs-baseline throughput comparison.
+type meshBenchConfig struct {
+	Silos    int
+	Sessions int // concurrent engine forks per variant
+	Compares int // secure comparisons per session
+	Seed     uint64
+	TLS      *transport.TLSConfig
+	// Tolerance is the acceptable relative throughput loss of the mux
+	// against the per-fork-dial baseline (0.10 = within 10%).
+	Tolerance float64
+}
+
+// meshVariantResult is one transport variant's measured throughput.
+type meshVariantResult struct {
+	Name           string  `json:"name"`
+	Compares       int64   `json:"compares"`
+	WallMs         int64   `json:"wall_ms"`
+	ComparesPerSec float64 `json:"compares_per_sec"`
+}
+
+// meshReport is the BENCH_mesh.json payload.
+type meshReport struct {
+	Silos     int               `json:"silos"`
+	Sessions  int               `json:"sessions"`
+	TLS       bool              `json:"tls"`
+	Mux       meshVariantResult `json:"mux"`
+	Baseline  meshVariantResult `json:"per_fork_dial"`
+	Ratio     float64           `json:"mux_over_baseline"`
+	Tolerance float64           `json:"tolerance"`
+	Pass      bool              `json:"pass"`
+}
+
+// runMeshVariant drives cfg.Sessions concurrent engine forks, each executing
+// cfg.Compares protocol-mode secure comparisons over the dialed transport,
+// verifying every comparison bit against the plaintext sum. Returns total
+// compare throughput.
+func runMeshVariant(name string, cfg meshBenchConfig, dial func() (mpc.ConnSet, error)) (meshVariantResult, error) {
+	root, err := mpc.NewEngine(mpc.Params{
+		Parties: cfg.Silos,
+		Mode:    mpc.ModeProtocol,
+		Seed:    cfg.Seed,
+		Dial:    dial,
+	})
+	if err != nil {
+		return meshVariantResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	defer root.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Sessions)
+	start := time.Now()
+	for s := 0; s < cfg.Sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			eng := root.Fork()
+			defer eng.Close()
+			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(s)))
+			diffs := make([]int64, cfg.Silos)
+			for i := 0; i < cfg.Compares; i++ {
+				var sum int64
+				for p := range diffs {
+					diffs[p] = rng.Int64N(2001) - 1000
+					sum += diffs[p]
+				}
+				got, err := eng.Compare(diffs)
+				if err != nil {
+					errs[s] = fmt.Errorf("%s session %d compare %d: %w", name, s, i, err)
+					return
+				}
+				if got != (sum < 0) {
+					errs[s] = fmt.Errorf("%s session %d compare %d: wrong bit", name, s, i)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return meshVariantResult{}, err
+		}
+	}
+	total := int64(cfg.Sessions) * int64(cfg.Compares)
+	return meshVariantResult{
+		Name:           name,
+		Compares:       total,
+		WallMs:         wall.Milliseconds(),
+		ComparesPerSec: float64(total) / wall.Seconds(),
+	}, nil
+}
+
+// runMeshBench measures multiplexed-lane throughput against the per-fork
+// fresh-mesh baseline on identical workloads. The mux must stay within
+// cfg.Tolerance of the baseline (it normally wins: no dial cost per fork).
+func runMeshBench(cfg meshBenchConfig, out io.Writer) (*meshReport, error) {
+	if cfg.Silos < 2 {
+		return nil, fmt.Errorf("mesh bench needs at least 2 silos")
+	}
+	// Mux variant: one shared physical mesh, a fresh lane set per fork.
+	lm, err := transport.NewLocalMesh(cfg.Silos, transport.MeshOptions{TLS: cfg.TLS})
+	if err != nil {
+		return nil, err
+	}
+	defer lm.Close()
+	mux, err := runMeshVariant("mux", cfg, func() (mpc.ConnSet, error) {
+		conns, drain := lm.SessionConns()
+		return mpc.ConnSet{Conns: conns, Drain: drain}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "mux lanes:      %6d compares in %5dms  %.0f cmp/s (%d sessions over %d physical links/silo)\n",
+		mux.Compares, mux.WallMs, mux.ComparesPerSec, cfg.Sessions, cfg.Silos-1)
+
+	// Baseline: every fork dials its own fresh P-party TCP mesh.
+	pfd := transport.NewPerForkDialer(cfg.Silos, 10*time.Second, cfg.TLS)
+	base, err := runMeshVariant("per-fork-dial", cfg, func() (mpc.ConnSet, error) {
+		conns, err := pfd.Dial()
+		if err != nil {
+			return mpc.ConnSet{}, err
+		}
+		return mpc.ConnSet{Conns: conns}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "per-fork dial:  %6d compares in %5dms  %.0f cmp/s (fresh %d-socket mesh per session)\n",
+		base.Compares, base.WallMs, base.ComparesPerSec, cfg.Silos*(cfg.Silos-1)/2)
+
+	rep := &meshReport{
+		Silos: cfg.Silos, Sessions: cfg.Sessions, TLS: cfg.TLS.Enabled(),
+		Mux: mux, Baseline: base,
+		Ratio:     mux.ComparesPerSec / base.ComparesPerSec,
+		Tolerance: cfg.Tolerance,
+	}
+	rep.Pass = rep.Ratio >= 1-cfg.Tolerance
+	fmt.Fprintf(out, "mux/baseline throughput ratio: %.2f (tolerance: ≥ %.2f)\n", rep.Ratio, 1-cfg.Tolerance)
+	return rep, nil
+}
+
+// writeMeshReport persists the report JSON.
+func (r *meshReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,123 @@
+// Command fedmesh is the cross-process mesh test harness: it runs one silo
+// of the federated query protocol over a real TCP (optionally mTLS) mesh,
+// or drives the full chaos scenario by re-executing itself once per silo,
+// killing and restarting one of them mid-run while every silo self-injects
+// link breaks.
+//
+// Usage:
+//
+//	fedmesh -gencerts DIR -silos 3          # write a throwaway mTLS PKI
+//	fedmesh -chaos -silos 3 -queries 200    # full chaos run (spawns itself)
+//	fedmesh -party 1 -silos 3 -addrs ...    # one silo process (internal)
+//
+// A chaos run exits non-zero if any query returns an incorrect result or an
+// untyped error, if the coordinator dies early, or if no automatic link
+// reconnection was observed — the CI mesh-chaos gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/soak"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		gencerts = flag.String("gencerts", "", "write a throwaway federation PKI (CA + per-silo certs) to this directory and exit")
+		chaos    = flag.Bool("chaos", false, "drive the full cross-process chaos scenario (spawns one fedmesh -party process per silo)")
+		party    = flag.Int("party", -1, "run as silo N of the mesh (internal: spawned by -chaos)")
+
+		silos    = flag.Int("silos", 3, "number of silo processes")
+		queries  = flag.Int("queries", 200, "federated shortest-path queries to drive")
+		vertices = flag.Int("vertices", 24, "road-network size (all silos derive it deterministically)")
+		seed     = flag.Uint64("seed", 1, "deterministic topology, weights, workload and chaos schedule")
+
+		addrs   = flag.String("addrs", "", "comma-separated silo mesh addresses (internal)")
+		certDir = flag.String("cert-dir", "", "PKI directory for mTLS links (empty = plaintext)")
+		workDir = flag.String("workdir", "", "chaos: directory for silo logs + generated certs (default: temp dir)")
+		noTLS   = flag.Bool("no-tls", false, "chaos: plaintext links instead of generated mTLS certs")
+		noKill  = flag.Bool("no-kill", false, "chaos: skip the silo kill+restart")
+
+		roundTimeout = flag.Duration("round-timeout", time.Second, "per-lane MPC round bound")
+		heartbeat    = flag.Duration("heartbeat", 100*time.Millisecond, "mesh liveness ping interval")
+		chaosBreak   = flag.Duration("chaos-break", 400*time.Millisecond, "per-silo self-injected link-break interval (0 = off)")
+		timeout      = flag.Duration("timeout", 5*time.Minute, "chaos: hard wall-clock bound; exceeding it is a hang")
+	)
+	flag.Parse()
+
+	switch {
+	case *gencerts != "":
+		if err := os.MkdirAll(*gencerts, 0o700); err != nil {
+			fail(err)
+		}
+		if err := transport.GenerateTestCerts(*gencerts, *silos); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote ca.pem + %d silo certs to %s\n", *silos, *gencerts)
+
+	case *party >= 0:
+		err := soak.RunMeshParty(soak.MeshPartyConfig{
+			Party:        *party,
+			Silos:        *silos,
+			Addrs:        strings.Split(*addrs, ","),
+			CertDir:      *certDir,
+			Seed:         *seed,
+			Vertices:     *vertices,
+			Queries:      *queries,
+			RoundTimeout: *roundTimeout,
+			Heartbeat:    *heartbeat,
+			ChaosBreak:   *chaosBreak,
+			Out:          os.Stdout,
+			Log:          os.Stderr,
+		})
+		if err != nil {
+			fail(err)
+		}
+
+	case *chaos:
+		bin, err := os.Executable()
+		if err != nil {
+			fail(err)
+		}
+		rep, err := soak.RunMeshChaos(soak.MeshChaosConfig{
+			Bin:          bin,
+			Silos:        *silos,
+			Queries:      *queries,
+			Vertices:     *vertices,
+			Seed:         *seed,
+			WorkDir:      *workDir,
+			TLS:          !*noTLS,
+			Kill:         !*noKill,
+			ChaosBreak:   *chaosBreak,
+			RoundTimeout: *roundTimeout,
+			Heartbeat:    *heartbeat,
+			Timeout:      *timeout,
+			Log:          os.Stderr,
+		})
+		if rep != nil {
+			fmt.Printf("chaos: %d/%d queries answered (%d correct, %d unreachable, %d typed failures), "+
+				"%d kill / %d restart, %d reconnects, %d heartbeat misses, %dms\n",
+				rep.Results, rep.Queries, rep.Succeeded, rep.Unreachable, rep.FailedTyped,
+				rep.Kills, rep.Restarts, rep.Reconnects, rep.HeartbeatMiss, rep.WallMs)
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("chaos: clean — every query correct or failed typed, mesh self-healed")
+
+	default:
+		fmt.Fprintln(os.Stderr, "fedmesh: pick a mode: -chaos, -party N, or -gencerts DIR")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "fedmesh: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/soak"
+)
+
+// buildFedmesh compiles the harness binary once per test run.
+func buildFedmesh(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "fedmesh")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build fedmesh: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestMeshChaosSmall is the scaled-down cross-process chaos scenario: three
+// real silo processes over TCP+mTLS, queries racing self-injected link
+// breaks and one kill+restart of the highest silo. Every query must either
+// match plaintext Dijkstra or fail with a typed error, and at least one
+// automatic reconnection must show up in the coordinator's counters. The CI
+// mesh-chaos job runs the full-size version of exactly this via
+// `fedmesh -chaos`.
+func TestMeshChaosSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-process chaos run")
+	}
+	bin := buildFedmesh(t)
+	rep, err := soak.RunMeshChaos(soak.MeshChaosConfig{
+		Bin:      bin,
+		Silos:    3,
+		Queries:  24,
+		Vertices: 16,
+		Seed:     7,
+		WorkDir:  t.TempDir(),
+		TLS:      true,
+		Kill:     true,
+		// Break links often relative to the ~24-query stream so reconnection
+		// is exercised even on a fast machine. The tight round timeout keeps
+		// third-party stalls (a break between the OTHER two silos) cheap.
+		ChaosBreak:   200 * time.Millisecond,
+		RoundTimeout: time.Second,
+		Timeout:      2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v (report: %+v)", err, rep)
+	}
+	if rep.Results != rep.Queries {
+		t.Fatalf("coordinator answered %d/%d queries", rep.Results, rep.Queries)
+	}
+	if rep.Succeeded == 0 {
+		t.Fatalf("no query succeeded under chaos: %+v", rep)
+	}
+	if rep.Kills != 1 || rep.Restarts != 1 {
+		t.Fatalf("kill/restart not exercised: %+v", rep)
+	}
+	if rep.Reconnects == 0 {
+		t.Fatalf("no automatic reconnection observed: %+v", rep)
+	}
+	t.Logf("chaos: %d ok, %d unreachable, %d typed failures %v, %d reconnects, %dms",
+		rep.Succeeded, rep.Unreachable, rep.FailedTyped, rep.FailureKinds, rep.Reconnects, rep.WallMs)
+}
+
+// TestGencerts covers the standalone PKI mode the CI job and the README
+// quickstart use.
+func TestGencerts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildFedmesh(t)
+	dir := filepath.Join(t.TempDir(), "pki")
+	out, err := exec.Command(bin, "-gencerts", dir, "-silos", "4").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gencerts: %v\n%s", err, out)
+	}
+	for _, f := range []string{"ca.pem", "silo0.pem", "silo0.key", "silo3.pem", "silo3.key"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+}

@@ -45,6 +45,11 @@ func main() {
 		roundTimeout = flag.Duration("round-timeout", 0, "per-frame MPC round timeout; a slow/dead silo fails the query instead of hanging it (protocol mode; 0 = no timeout)")
 		sacRetries   = flag.Int("sac-retries", 0, "bounded retries of a Fed-SAC round after a transient transport failure")
 		sacBackoff   = flag.Duration("sac-retry-backoff", 10*time.Millisecond, "backoff before the first Fed-SAC retry, doubled per retry")
+
+		meshTCP = flag.Bool("mesh-tcp", false, "run MPC rounds over a loopback TCP mesh with multiplexed lanes and automatic redial (requires -protocol)")
+		tlsCert = flag.String("tls-cert", "", "silo certificate PEM for mutual-auth TLS on mesh links (requires -mesh-tcp, -tls-key and -tls-ca)")
+		tlsKey  = flag.String("tls-key", "", "silo private key PEM for mesh mTLS")
+		tlsCA   = flag.String("tls-ca", "", "federation CA PEM both directions of every mesh link verify against")
 	)
 	flag.Parse()
 
@@ -84,9 +89,19 @@ func main() {
 	if *protocol {
 		cfg.Mode = fedroad.ModeProtocol
 	}
+	if *meshTCP {
+		if !*protocol {
+			fail(fmt.Errorf("-mesh-tcp requires -protocol (ideal mode exchanges no messages)"))
+		}
+		cfg.MeshTCP = true
+	}
+	if *tlsCert != "" || *tlsKey != "" || *tlsCA != "" {
+		cfg.MeshTLS = &fedroad.TLSConfig{CertFile: *tlsCert, KeyFile: *tlsKey, CAFile: *tlsCA}
+	}
 	silosW := fedroad.SimulateCongestion(w0, *silos, lvl, *seed+1)
 	fed, err := fedroad.New(g, w0, silosW, cfg)
 	fail(err)
+	defer fed.Close()
 
 	if !*noIndex {
 		start := time.Now()

@@ -98,6 +98,11 @@ func main() {
 		roundTimeout = flag.Duration("round-timeout", 0, "per-frame MPC round timeout; a slow/dead silo fails the query with 503/504 instead of hanging it (protocol mode; 0 = no timeout)")
 		sacRetries   = flag.Int("sac-retries", 0, "bounded retries of a Fed-SAC round after a transient transport failure")
 		sacBackoff   = flag.Duration("sac-retry-backoff", 10*time.Millisecond, "backoff before the first Fed-SAC retry, doubled per retry")
+
+		meshTCP = flag.Bool("mesh-tcp", false, "run MPC rounds over a loopback TCP mesh with multiplexed lanes, heartbeats and automatic redial (protocol mode; the deployment-shaped wire path)")
+		tlsCert = flag.String("tls-cert", "", "silo certificate PEM for mutual-auth TLS on mesh links (requires -mesh-tcp, -tls-key and -tls-ca)")
+		tlsKey  = flag.String("tls-key", "", "silo private key PEM for mesh mTLS")
+		tlsCA   = flag.String("tls-ca", "", "federation CA PEM both directions of every mesh link verify against")
 	)
 	flag.Parse()
 
@@ -121,6 +126,16 @@ func main() {
 	if *protocol {
 		cfg.Mode = fedroad.ModeProtocol
 	}
+	if *meshTCP {
+		cfg.MeshTCP = true
+		if !*protocol {
+			fmt.Fprintln(os.Stderr, "fedserver: -mesh-tcp requires -protocol (ideal mode exchanges no messages)")
+			os.Exit(1)
+		}
+	}
+	if *tlsCert != "" || *tlsKey != "" || *tlsCA != "" {
+		cfg.MeshTLS = &fedroad.TLSConfig{CertFile: *tlsCert, KeyFile: *tlsKey, CAFile: *tlsCA}
+	}
 	fed, err := fedroad.New(g, w0, silosW, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
@@ -128,6 +143,13 @@ func main() {
 	}
 	defer fed.Close()
 	log.Printf("federation: %d vertices, %d arcs, %d silos", g.NumVertices(), g.NumArcs(), *silos)
+	if *meshTCP {
+		sec := "plaintext"
+		if cfg.MeshTLS.Enabled() {
+			sec = "mTLS"
+		}
+		log.Printf("mesh: MPC rounds over loopback TCP (%s), %d physical links per silo", sec, *silos-1)
+	}
 
 	var pers *persister
 	if *persist != "" {

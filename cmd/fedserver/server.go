@@ -269,7 +269,12 @@ func queryStatus(err error) int {
 		return http.StatusTooManyRequests
 	case fedroad.IsTimeout(err):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, fedroad.ErrSessionPoisoned), errors.Is(err, errServerClosed):
+	case errors.Is(err, fedroad.ErrSessionPoisoned), errors.Is(err, errServerClosed),
+		errors.Is(err, fedroad.ErrPeerDown):
+		// ErrPeerDown normally reaches callers wrapped in ErrSessionPoisoned
+		// (the engine poisons fast on a dead link), but a raw mesh error —
+		// e.g. a session dial racing a redial — maps the same way: the
+		// federation is temporarily degraded, retry on a fresh session.
 		return http.StatusServiceUnavailable
 	case errors.Is(err, fedroad.ErrInvalidQuery):
 		return http.StatusBadRequest
@@ -633,6 +638,54 @@ type admitStatsJSON struct {
 	Shed     int64 `json:"shed"`
 }
 
+// meshLinkJSON is one endpoint→peer link's /stats entry.
+type meshLinkJSON struct {
+	Party           int   `json:"party"`
+	Peer            int   `json:"peer"`
+	Up              bool  `json:"up"`
+	Reconnects      int64 `json:"reconnects"`
+	HeartbeatMisses int64 `json:"heartbeat_misses"`
+	DialFailures    int64 `json:"dial_failures"`
+	BytesSent       int64 `json:"bytes_sent"`
+	BytesRecv       int64 `json:"bytes_recv"`
+}
+
+// meshStatsJSON is the /stats mesh-transport block (only present with
+// -mesh-tcp).
+type meshStatsJSON struct {
+	LinksUp         int            `json:"links_up"`
+	Reconnects      int64          `json:"reconnects"`
+	HeartbeatMisses int64          `json:"heartbeat_misses"`
+	BytesSent       int64          `json:"bytes_sent"`
+	MessagesSent    int64          `json:"messages_sent"`
+	Links           []meshLinkJSON `json:"links"`
+}
+
+// meshBlock renders the federation's mesh counters, or nil without a mesh.
+func (s *server) meshBlock() *meshStatsJSON {
+	stats := s.fed.MeshStats()
+	if stats == nil {
+		return nil
+	}
+	out := &meshStatsJSON{}
+	for _, ep := range stats {
+		out.LinksUp += ep.LinksUp
+		out.Reconnects += ep.Reconnects
+		out.HeartbeatMisses += ep.HeartbeatMisses
+		out.BytesSent += ep.BytesSent
+		out.MessagesSent += ep.MsgsSent
+		for _, p := range ep.Peers {
+			out.Links = append(out.Links, meshLinkJSON{
+				Party: ep.Party, Peer: p.Peer, Up: p.Up,
+				Reconnects: p.Reconnects, HeartbeatMisses: p.HeartbeatMisses,
+				DialFailures: p.DialFailures,
+				BytesSent:    p.BytesSent, BytesRecv: p.BytesRecv,
+			})
+		}
+	}
+	return out
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.fed.IndexStats()
 	pool := s.fed.PoolStats()
@@ -666,6 +719,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Admission      admitStatsJSON     `json:"admission"`
 		Cache          *cacheStatsJSON    `json:"cache,omitempty"`
 		Persist        *persistStats      `json:"persist,omitempty"`
+		Mesh           *meshStatsJSON     `json:"mesh,omitempty"`
 		PooledIdle     int                `json:"pooled_sessions"`
 		Discarded      int64              `json:"poisoned_sessions_discarded"`
 		PoolProduced   int64              `json:"prepool_produced"`
@@ -678,7 +732,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.fed.TrafficVersion(), s.unitWeights,
 		s.queries.Load(), cap(s.sem),
 		admitStatsJSON{Limit: gs.Limit, Depth: gs.Depth, Admitted: gs.Admitted, Shed: gs.Shed},
-		cacheBlock, persistBlock,
+		cacheBlock, persistBlock, s.meshBlock(),
 		s.pooledIdle(), s.discarded.Load(),
 		pool.Produced, pool.Hits, pool.Misses,
 		s.fed.Metrics().Snapshot(),

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -15,7 +16,16 @@ import (
 
 	fedroad "repro"
 	"repro/internal/graph"
+	"repro/internal/transport"
 )
+
+// timeoutErr is a minimal net.Error with Timeout() true — the shape a
+// socket deadline expiry takes inside a *net.OpError.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
 
 func testServer(t *testing.T) (*httptest.Server, *fedroad.Federation, fedroad.Weights) {
 	t.Helper()
@@ -199,6 +209,24 @@ func TestQueryStatus(t *testing.T) {
 		// An unclassified error is an internal failure, not the client's
 		// fault: the old default of 400 hid engine bugs as user errors.
 		{errors.New("engine exploded"), http.StatusInternalServerError},
+
+		// Mesh transport taxonomy. A lane round timeout — the exact error
+		// shape LaneConn.Recv produces when a silo stalls — is a 504.
+		{fmt.Errorf("transport: recv from party 2 (lane 17): %w", transport.ErrRoundTimeout), http.StatusGatewayTimeout},
+		// A link declared dead mid-round surfaces wrapped in
+		// ErrSessionPoisoned (the engine poisons fast on ErrPeerDown): 503,
+		// retry on a fresh session over the redialed link.
+		{fmt.Errorf("%w: transport: recv from party 1 (lane 17, link gen 2): %v",
+			fedroad.ErrSessionPoisoned, transport.ErrPeerDown), http.StatusServiceUnavailable},
+		// A raw peer-down error (session dial racing a redial) maps the
+		// same way instead of masquerading as an internal failure.
+		{fmt.Errorf("transport: send to party 1 (lane 3): %w", transport.ErrPeerDown), http.StatusServiceUnavailable},
+		// Socket-level deadline expiries (e.g. a stalled mTLS link hitting
+		// its heartbeat write budget) count as timeouts too.
+		{fmt.Errorf("mesh write: %w", &net.OpError{Op: "write", Err: timeoutErr{}}), http.StatusGatewayTimeout},
+		// mTLS handshake rejections and redial dial failures carry no
+		// taxonomy mark: internal failure, not the client's fault.
+		{errors.New("transport: dial peer 2: remote error: tls: bad certificate"), http.StatusInternalServerError},
 	}
 	for _, c := range cases {
 		if got := queryStatus(c.err); got != c.want {

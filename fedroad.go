@@ -199,7 +199,39 @@ type Config struct {
 	// install transport.NewFaultConn here to drive queries through dropped,
 	// delayed, duplicated and killed links. Production configs leave it nil.
 	TransportWrap func(party int, c transport.Conn) transport.Conn
+
+	// MeshTCP routes every session's MPC rounds over a real loopback TCP
+	// mesh with multiplexed lanes (protocol mode only): exactly P−1 physical
+	// sockets per silo endpoint, one fresh lane set per session fork, with
+	// heartbeat failure detection and automatic redial. This is the
+	// deployment-shaped wire path — every secret share crosses an actual
+	// socket — at the cost of real syscall latency per round.
+	MeshTCP bool
+	// MeshTLS enables mutual-auth TLS on the mesh links (requires MeshTCP).
+	// See transport.TLSConfig; all three file paths must be set.
+	MeshTLS *TLSConfig
 }
+
+// TLSConfig re-exports the transport layer's mutual-auth TLS configuration
+// (certificate, key and federation-CA PEM paths).
+type TLSConfig = transport.TLSConfig
+
+// GenerateTestCerts writes a throwaway federation PKI (self-signed CA plus
+// one certificate per silo) into dir — the self-signed quickstart for local
+// mTLS meshes. Production deployments bring their own CA.
+func GenerateTestCerts(dir string, silos int) error {
+	return transport.GenerateTestCerts(dir, silos)
+}
+
+// TestCertConfig returns the TLSConfig for one silo under a
+// GenerateTestCerts directory.
+func TestCertConfig(dir string, silo int) *TLSConfig {
+	return transport.TestCertConfig(dir, silo)
+}
+
+// MeshStats re-exports one mesh endpoint's per-peer link and traffic
+// counters (see Federation.MeshStats).
+type MeshStats = transport.MeshStats
 
 // ErrInvalidUpdate tags traffic updates rejected by validation (a client
 // mistake: silo/arc out of range, travel time outside bounds). Errors from
@@ -213,6 +245,14 @@ var ErrInvalidUpdate = errors.New("fedroad: invalid traffic update")
 // and replaced; the federation itself remains healthy and fresh sessions
 // work. Check with errors.Is.
 var ErrSessionPoisoned = mpc.ErrPoisoned
+
+// ErrPeerDown tags transport errors caused by a dead inter-silo link (the
+// mesh's heartbeat monitor declared the peer unreachable, or redial has not
+// yet succeeded). It is deliberately not retryable at the protocol-round
+// level — in-flight rounds on a dead link are unrecoverable — so it surfaces
+// wrapped in ErrSessionPoisoned; fresh sessions transparently use the
+// redialed link once the peer returns. Check with errors.Is.
+var ErrPeerDown = transport.ErrPeerDown
 
 // ErrBuildConflict tags an index build abandoned because traffic updates
 // changed the silo weights after the build snapshotted them: the finished
@@ -256,6 +296,7 @@ type Federation struct {
 	lm    *lb.Landmarks
 	cfg   Config
 	pool  *mpc.Pool
+	mesh  *transport.LocalMesh
 
 	// trafficVer counts silo-weight mutations (guarded by mu). Off-lock
 	// builders record it at snapshot time; a changed version at swap time
@@ -325,6 +366,23 @@ func New(g *Graph, w0 Weights, siloWeights []Weights, cfg ...Config) (*Federatio
 	if c.Mode == ModeProtocol {
 		params.Mode = mpc.ModeProtocol
 	}
+	var mesh *transport.LocalMesh
+	if c.MeshTCP {
+		if c.Mode != ModeProtocol {
+			return nil, fmt.Errorf("fedroad: MeshTCP requires ModeProtocol (ideal mode exchanges no messages)")
+		}
+		var err error
+		mesh, err = transport.NewLocalMesh(len(siloWeights), transport.MeshOptions{TLS: c.MeshTLS})
+		if err != nil {
+			return nil, err
+		}
+		params.Dial = func() (mpc.ConnSet, error) {
+			conns, drain := mesh.SessionConns()
+			return mpc.ConnSet{Conns: conns, Drain: drain}, nil
+		}
+	} else if c.MeshTLS.Enabled() {
+		return nil, fmt.Errorf("fedroad: MeshTLS requires MeshTCP")
+	}
 	if c.Latency != 0 || c.Bandwidth != 0 {
 		params.Net = mpc.NetworkModel{Latency: c.Latency, Bandwidth: c.Bandwidth}
 		if params.Net.Latency == 0 {
@@ -336,10 +394,16 @@ func New(g *Graph, w0 Weights, siloWeights []Weights, cfg ...Config) (*Federatio
 	}
 	inner, err := fed.New(g, w0, siloWeights, params)
 	if err != nil {
+		if mesh != nil {
+			mesh.Close()
+		}
 		return nil, err
 	}
-	f := &Federation{inner: inner, cfg: c, reg: reg}
+	f := &Federation{inner: inner, cfg: c, reg: reg, mesh: mesh}
 	f.initMetrics()
+	if mesh != nil {
+		f.initMeshMetrics()
+	}
 	if c.PreprocessPool > 0 {
 		f.pool = mpc.NewPool(len(siloWeights), c.PreprocessPool, c.PreprocessWorkers, c.Seed^0x5f3759df)
 		if err := inner.Engine().AttachPool(f.pool); err != nil {
@@ -428,13 +492,63 @@ func (f *Federation) recordQuery(kind string, stats Stats, err error) {
 	m.phaseRelax.Add(stats.Phases.Relax.Seconds())
 }
 
-// Close releases background resources (the preprocessing pool's workers).
-// The federation remains queryable afterwards; comparisons simply fall back
-// to on-demand randomness generation.
+// Close releases background resources (the preprocessing pool's workers and
+// the mesh transport's sockets and heartbeat/redial goroutines). Without a
+// mesh the federation remains queryable afterwards; with one, in-flight and
+// future protocol-mode queries fail with typed errors.
 func (f *Federation) Close() {
 	if f.pool != nil {
 		f.pool.Close()
 	}
+	if f.mesh != nil {
+		f.mesh.Close()
+	}
+}
+
+// initMeshMetrics mirrors the mesh transport's counters into the registry.
+// All callbacks read atomics only — no lock is shared with the data path or
+// with f.mu.
+func (f *Federation) initMeshMetrics() {
+	mesh := f.mesh
+	sum := func(pick func(transport.MeshStats) int64) float64 {
+		var t int64
+		for _, st := range mesh.Stats() {
+			t += pick(st)
+		}
+		return float64(t)
+	}
+	f.reg.GaugeFunc("fedroad_mesh_links_up", "live physical inter-silo links (all endpoints)", nil,
+		func() float64 { return sum(func(st transport.MeshStats) int64 { return int64(st.LinksUp) }) })
+	f.reg.CounterFunc("fedroad_mesh_reconnects_total", "automatic inter-silo link re-establishments", nil,
+		func() float64 { return sum(func(st transport.MeshStats) int64 { return st.Reconnects }) })
+	f.reg.CounterFunc("fedroad_mesh_heartbeat_misses_total", "heartbeat deadline expiries that declared a link dead", nil,
+		func() float64 { return sum(func(st transport.MeshStats) int64 { return st.HeartbeatMisses }) })
+	f.reg.CounterFunc("fedroad_mesh_bytes_sent_total", "bytes sent over inter-silo mesh links", nil,
+		func() float64 { return sum(func(st transport.MeshStats) int64 { return st.BytesSent }) })
+	f.reg.CounterFunc("fedroad_mesh_messages_sent_total", "frames sent over inter-silo mesh links", nil,
+		func() float64 { return sum(func(st transport.MeshStats) int64 { return st.MsgsSent }) })
+}
+
+// MeshStats reports the mesh transport's per-endpoint link and traffic
+// counters (one entry per silo endpoint), or nil when the federation runs
+// on the in-process transport (Config.MeshTCP unset).
+func (f *Federation) MeshStats() []MeshStats {
+	if f.mesh == nil {
+		return nil
+	}
+	return f.mesh.Stats()
+}
+
+// BreakMeshLink force-closes the physical link between two silo endpoints
+// (chaos hook: a mid-round disconnect). The mesh redials it automatically;
+// queries in flight on the link fail with typed errors. No-op without a
+// mesh.
+func (f *Federation) BreakMeshLink(a, b int) {
+	if f.mesh == nil {
+		return
+	}
+	f.mesh.Mesh(a).BreakLink(b)
+	f.mesh.Mesh(b).BreakLink(a)
 }
 
 // HasPool reports whether a preprocessing pool is configured — callers use it

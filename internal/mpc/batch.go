@@ -399,7 +399,9 @@ func (e *Engine) CompareBatch(diffs [][]int64) ([]bool, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.mem.ResetStats()
+		if e.mem != nil {
+			e.mem.ResetStats()
+		}
 	default:
 		return nil, fmt.Errorf("mpc: unknown mode %d", e.mode)
 	}

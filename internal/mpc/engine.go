@@ -98,11 +98,33 @@ type Params struct {
 	// closes without touching protocol code.
 	Wrap func(party int, c transport.Conn) transport.Conn
 
+	// Dial, when set, supplies the engine's party endpoints instead of the
+	// default in-process Mem network (protocol mode). NewEngine and every
+	// Fork call it once to obtain a session-private ConnSet — e.g.
+	// multiplexed lanes over a real TCP/mTLS mesh (transport.LocalMesh) —
+	// so each fork's rounds travel an actual socket instead of a channel.
+	// A Fork whose dial fails starts pre-poisoned (Fork cannot return an
+	// error); callers observe the standard ErrPoisoned fast-fail and retry
+	// on a fresh session.
+	Dial func() (ConnSet, error)
+
 	// Instr, when set, mirrors the engine's cost counters into a process-wide
 	// metrics registry, shared by the whole fork family. Per-engine Stats
 	// stay authoritative for per-query accounting; Instr feeds the /metrics
 	// trajectory across all engines.
 	Instr *Instruments
+}
+
+// ConnSet is one session-private set of party endpoints produced by a
+// Params.Dial factory: conns[p] belongs to party p. Drain, when non-nil,
+// discards every in-flight frame of the set (e.g. by rotating multiplexed
+// lanes) and is invoked between protocol-retry attempts so a replayed round
+// never reads stale frames of the aborted one. A set with a nil Drain is
+// not retry-safe: the engine poisons on the first transport failure instead
+// of replaying against possibly desynchronized streams.
+type ConnSet struct {
+	Conns []transport.Conn
+	Drain func()
 }
 
 // Instruments is the MPC layer's hookup into a metrics registry: global
@@ -188,9 +210,14 @@ type Engine struct {
 	netm   NetworkModel
 	seed   uint64
 	dealer *Dealer
-	mem    *transport.Mem
+	mem    *transport.Mem // nil when conns come from a Dial factory
 	conns  []transport.Conn
 	stats  Stats
+
+	// dial/drain carry the pluggable endpoint factory (see Params.Dial);
+	// dial is inherited by forks, drain belongs to this engine's ConnSet.
+	dial  func() (ConnSet, error)
+	drain func()
 
 	// noPack switches CompareBatch to the unpacked wire layout; inherited by
 	// forks. The analytic cost accounting follows the selected layout.
@@ -261,13 +288,11 @@ func NewEngine(p Params) (*Engine, error) {
 		roundTimeout: p.RoundTimeout,
 		retry:        p.Retry,
 		wrap:         p.Wrap,
+		dial:         p.Dial,
 		instr:        p.Instr,
 	}
-	e.mem = transport.NewMem(e.n)
-	e.mem.SetRecvTimeout(e.roundTimeout)
-	e.conns = make([]transport.Conn, e.n)
-	for i := range e.conns {
-		e.conns[i] = e.wrapConn(i, e.mem.Conn(i))
+	if err := e.installConns(); err != nil {
+		return nil, err
 	}
 
 	// The scalar protocol always uses the bit-packed frame layout (word
@@ -298,19 +323,54 @@ func (e *Engine) Fork() *Engine {
 		roundTimeout: e.roundTimeout,
 		retry:        e.retry,
 		wrap:         e.wrap,
+		dial:         e.dial,
 		cmpBytes:     e.cmpBytes, cmpMsgs: e.cmpMsgs, cmpSimNet: e.cmpSimNet,
 	}
 	if e.instr != nil {
 		e.instr.Forks.Inc()
 	}
-	f.mem = transport.NewMem(f.n)
-	f.mem.SetRecvTimeout(f.roundTimeout)
-	f.conns = make([]transport.Conn, f.n)
-	for i := range f.conns {
-		f.conns[i] = f.wrapConn(i, f.mem.Conn(i))
+	if err := f.installConns(); err != nil {
+		// Fork cannot return an error; a fork whose dial failed (e.g. its
+		// mesh links are down mid-redial) starts poisoned and fails every
+		// comparison fast — the caller's session retry path takes over.
+		f.poisoned = true
+		if f.instr != nil {
+			f.instr.Poisonings.Inc()
+		}
+		return f
 	}
 	f.SetRealDelay(e.realDelay)
 	return f
+}
+
+// installConns builds the engine's party endpoints: from the Dial factory
+// when configured, else over a fresh in-process Mem network.
+func (e *Engine) installConns() error {
+	if e.dial != nil {
+		cs, err := e.dial()
+		if err != nil {
+			return fmt.Errorf("mpc: dial party endpoints: %w", err)
+		}
+		if len(cs.Conns) != e.n {
+			return fmt.Errorf("mpc: dial returned %d conns for %d parties", len(cs.Conns), e.n)
+		}
+		e.drain = cs.Drain
+		e.conns = make([]transport.Conn, e.n)
+		for i, c := range cs.Conns {
+			if rt, ok := c.(interface{ SetRoundTimeout(time.Duration) }); ok {
+				rt.SetRoundTimeout(e.roundTimeout)
+			}
+			e.conns[i] = e.wrapConn(i, c)
+		}
+		return nil
+	}
+	e.mem = transport.NewMem(e.n)
+	e.mem.SetRecvTimeout(e.roundTimeout)
+	e.conns = make([]transport.Conn, e.n)
+	for i := range e.conns {
+		e.conns[i] = e.wrapConn(i, e.mem.Conn(i))
+	}
+	return nil
 }
 
 // wrapConn applies the configured transport wrapper (fault injection), if any.
@@ -353,6 +413,11 @@ func (e *Engine) Pool() *Pool { return e.pool }
 // exchange no messages).
 func (e *Engine) SetRealDelay(on bool) {
 	e.realDelay = on
+	if e.mem == nil {
+		// Dialed endpoints are real sockets: latency is physical, not
+		// simulated, so the flag only records intent.
+		return
+	}
 	if on {
 		e.mem.SetDelay(e.netm.Latency, e.netm.Bandwidth)
 	} else {
@@ -429,7 +494,9 @@ func (e *Engine) Compare(diffs []int64) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		e.mem.ResetStats()
+		if e.mem != nil {
+			e.mem.ResetStats()
+		}
 	default:
 		return false, fmt.Errorf("mpc: unknown mode %d", e.mode)
 	}
@@ -485,20 +552,28 @@ func (e *Engine) retryProtocol(run func() error) error {
 	if e.poisoned {
 		return ErrPoisoned
 	}
+	// Retry requires a drain primitive (Mem.Drain, or the ConnSet's Drain —
+	// lane rotation on a mux mesh); without one, a replay could read stale
+	// frames of the aborted round, so the first failure poisons instead.
+	canDrain := e.mem != nil || e.drain != nil
 	var err error
 	for attempt := 0; ; attempt++ {
 		err = run()
 		if err == nil {
 			return nil
 		}
-		if attempt >= e.retry.Attempts || !transport.Transient(err) {
+		if attempt >= e.retry.Attempts || !transport.Transient(err) || !canDrain {
 			break
 		}
 		if e.instr != nil {
 			e.instr.Retries.Inc()
 		}
-		e.mem.Drain()
-		e.mem.ResetStats()
+		if e.mem != nil {
+			e.mem.Drain()
+			e.mem.ResetStats()
+		} else {
+			e.drain()
+		}
 		if e.retry.Backoff > 0 {
 			time.Sleep(e.retry.Backoff << min(attempt, 16))
 		}

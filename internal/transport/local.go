@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LocalMesh runs all P parties' Mesh endpoints in one process over real
+// loopback TCP (optionally mTLS): the deployment-shaped wire path — framed
+// lanes multiplexed over P·(P−1)/2 physical sockets — without separate
+// processes. The engine uses it in protocol mode so every secret share
+// genuinely crosses a socket; tests use it to exercise the mux under -race.
+//
+// Listener ports are pre-bound before any endpoint dials, so concurrent
+// setup never races on port availability.
+type LocalMesh struct {
+	n      int
+	meshes []*Mesh
+	lanes  atomic.Uint32
+}
+
+// NewLocalMesh builds the P-endpoint loopback mesh. opts applies to every
+// endpoint (opts.Listener is overridden per party).
+func NewLocalMesh(n int, opts MeshOptions) (*LocalMesh, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("transport: need at least 2 parties, got %d", n)
+	}
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n-1; i++ { // party n-1 accepts nothing
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns {
+				if l != nil {
+					l.Close()
+				}
+			}
+			return nil, fmt.Errorf("transport: local mesh listen: %w", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	addrs[n-1] = "127.0.0.1:0" // never dialed
+
+	lm := &LocalMesh{n: n, meshes: make([]*Mesh, n)}
+	lm.lanes.Store(15) // lanes 0..15 reserved, matching Mesh.OpenLane
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := opts
+			o.Listener = lns[i]
+			lm.meshes[i], errs[i] = DialMeshMux(i, n, addrs, o)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			lm.Close()
+			return nil, err
+		}
+	}
+	return lm, nil
+}
+
+func (lm *LocalMesh) N() int { return lm.n }
+
+// Mesh returns party p's endpoint (for stats, chaos hooks, lane control).
+func (lm *LocalMesh) Mesh(p int) *Mesh { return lm.meshes[p] }
+
+// SetRoundTimeout bounds lane Recvs on every endpoint.
+func (lm *LocalMesh) SetRoundTimeout(d time.Duration) {
+	for _, m := range lm.meshes {
+		m.SetRoundTimeout(d)
+	}
+}
+
+// SessionConns opens one multiplexed lane per party, all sharing a fresh
+// lane ID, so the P returned Conns form a session-private mesh over the
+// shared physical links. The returned drain rotates the session onto
+// another fresh lane ID, tombstoning the old one everywhere — the retry
+// primitive: a replayed protocol round can never read stale frames of the
+// aborted attempt. Neither the conns nor drain may be used concurrently
+// with each other.
+func (lm *LocalMesh) SessionConns() (conns []Conn, drain func()) {
+	id := lm.lanes.Add(1)
+	lcs := make([]*LaneConn, lm.n)
+	conns = make([]Conn, lm.n)
+	for p := 0; p < lm.n; p++ {
+		lcs[p] = lm.meshes[p].Lane(id)
+		conns[p] = lcs[p]
+	}
+	drain = func() {
+		next := lm.lanes.Add(1)
+		for _, lc := range lcs {
+			lc.Rebind(next)
+		}
+	}
+	return conns, drain
+}
+
+// Stats aggregates all endpoints' mesh counters.
+func (lm *LocalMesh) Stats() []MeshStats {
+	out := make([]MeshStats, 0, lm.n)
+	for _, m := range lm.meshes {
+		if m != nil {
+			out = append(out, m.Stats())
+		}
+	}
+	return out
+}
+
+// Close tears down every endpoint.
+func (lm *LocalMesh) Close() error {
+	var first error
+	for _, m := range lm.meshes {
+		if m != nil {
+			if err := m.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// PerForkDialer reproduces the pre-mux behavior — one fresh TCP mesh
+// (P·(P−1)/2 sockets) dialed per session fork — as the fd-hungry baseline
+// the mux's throughput is gated against in fedbench.
+type PerForkDialer struct {
+	n       int
+	timeout time.Duration
+	tls     *TLSConfig
+}
+
+// NewPerForkDialer builds the baseline dialer for n parties.
+func NewPerForkDialer(n int, timeout time.Duration, tc *TLSConfig) *PerForkDialer {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &PerForkDialer{n: n, timeout: timeout, tls: tc}
+}
+
+// Dial establishes one fresh full mesh on ephemeral loopback ports and
+// returns its P endpoints. There is no drain (frames die with the session
+// sockets), so callers treat any transport failure as final for the mesh.
+func (d *PerForkDialer) Dial() ([]Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		conns, err := d.dialOnce()
+		if err == nil {
+			return conns, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (d *PerForkDialer) dialOnce() ([]Conn, error) {
+	// Reserve ephemeral ports by binding and releasing; the window between
+	// release and DialMesh's own bind is the classic reuse race, which the
+	// caller's bounded retry absorbs.
+	addrs := make([]string, d.n)
+	for i := 0; i < d.n-1; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	addrs[d.n-1] = "127.0.0.1:0"
+
+	conns := make([]Conn, d.n)
+	errs := make([]error, d.n)
+	var wg sync.WaitGroup
+	for i := 0; i < d.n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := DialMeshTLS(i, d.n, addrs, d.timeout, d.tls)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			conns[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, c := range conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return conns, nil
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"crypto/tls"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -11,6 +12,23 @@ import (
 	"time"
 )
 
+// tcpPeerCounters holds one peer's traffic counters. Atomics, not a shared
+// mutex: Stats() is scraped concurrently with Send/Recv (metrics handlers,
+// bench reporters) and must never race or contend with the data path.
+type tcpPeerCounters struct {
+	bytesSent, msgsSent atomic.Int64
+	bytesRecv, msgsRecv atomic.Int64
+}
+
+// TCPPeerStats is the per-peer traffic breakdown of one TCPConn endpoint.
+type TCPPeerStats struct {
+	Peer      int
+	BytesSent int64
+	MsgsSent  int64
+	BytesRecv int64
+	MsgsRecv  int64
+}
+
 // TCPConn is a party endpoint over a real TCP mesh: one socket per peer pair,
 // length-prefixed frames. It satisfies Conn.
 type TCPConn struct {
@@ -19,29 +37,45 @@ type TCPConn struct {
 	peers []net.Conn // peers[j] is the socket to party j (nil at j==id)
 	rds   []*bufio.Reader
 	wmu   []sync.Mutex
-	bytes int64
-	msgs  int64
-	mu    sync.Mutex
+	stats []tcpPeerCounters
 
 	opTimeoutNs atomic.Int64 // per-operation deadline budget (0 = none)
 }
 
-// DialMesh establishes a full TCP mesh among n parties. addrs[i] is the
-// listen address of party i (e.g. "127.0.0.1:9001"). Party i accepts
-// connections from all j > i and dials all j < i; a 4-byte hello carrying the
-// dialer's party ID pairs sockets to parties. All parties must call DialMesh
-// concurrently. The timeout bounds the whole mesh setup, including every
+// DialMesh establishes a full plaintext TCP mesh among n parties; see
+// DialMeshTLS for the pairing protocol and failure semantics.
+func DialMesh(id, n int, addrs []string, timeout time.Duration) (*TCPConn, error) {
+	return DialMeshTLS(id, n, addrs, timeout, nil)
+}
+
+// DialMeshTLS establishes a full TCP mesh among n parties, with mutual-auth
+// TLS on every link when tc is enabled (nil or zero tc = plaintext).
+// addrs[i] is the listen address of party i (e.g. "127.0.0.1:9001"). Party i
+// accepts connections from all j > i and dials all j < i; a 4-byte hello
+// carrying the dialer's party ID pairs sockets to parties (sent inside the
+// TLS channel when enabled). All parties must call this concurrently. The
+// timeout bounds the whole mesh setup, including TLS handshakes and every
 // hello read and write.
 //
 // On any setup failure both setup goroutines are cancelled and joined before
 // any established socket is closed, so a half-built mesh never races its own
 // teardown.
-func DialMesh(id, n int, addrs []string, timeout time.Duration) (*TCPConn, error) {
+func DialMeshTLS(id, n int, addrs []string, timeout time.Duration, tc *TLSConfig) (*TCPConn, error) {
 	if len(addrs) != n {
 		return nil, fmt.Errorf("transport: %d addrs for %d parties", len(addrs), n)
 	}
 	if id < 0 || id >= n {
 		return nil, fmt.Errorf("transport: party %d out of range [0,%d)", id, n)
+	}
+	var srvTLS, cliTLS *tls.Config
+	if tc.Enabled() {
+		var err error
+		if srvTLS, err = tc.ServerTLS(); err != nil {
+			return nil, err
+		}
+		if cliTLS, err = tc.ClientTLS(); err != nil {
+			return nil, err
+		}
 	}
 	c := &TCPConn{
 		id:    id,
@@ -49,6 +83,7 @@ func DialMesh(id, n int, addrs []string, timeout time.Duration) (*TCPConn, error
 		peers: make([]net.Conn, n),
 		rds:   make([]*bufio.Reader, n),
 		wmu:   make([]sync.Mutex, n),
+		stats: make([]tcpPeerCounters, n),
 	}
 	deadline := time.Now().Add(timeout)
 
@@ -93,6 +128,17 @@ func DialMesh(id, n int, addrs []string, timeout time.Duration) (*TCPConn, error
 				errc <- fmt.Errorf("transport: accept: %w", err)
 				return
 			}
+			if srvTLS != nil {
+				tconn := tls.Server(conn, srvTLS)
+				tconn.SetDeadline(deadline)
+				if err := tconn.Handshake(); err != nil {
+					tconn.Close()
+					errc <- fmt.Errorf("transport: TLS accept: %w", err)
+					return
+				}
+				tconn.SetDeadline(time.Time{})
+				conn = tconn
+			}
 			conn.SetReadDeadline(deadline)
 			var hello [4]byte
 			if _, err := io.ReadFull(conn, hello[:]); err != nil {
@@ -133,6 +179,17 @@ func DialMesh(id, n int, addrs []string, timeout time.Duration) (*TCPConn, error
 					return
 				}
 				time.Sleep(10 * time.Millisecond)
+			}
+			if cliTLS != nil {
+				tconn := tls.Client(conn, cliTLS)
+				tconn.SetDeadline(deadline)
+				if err := tconn.Handshake(); err != nil {
+					tconn.Close()
+					errc <- fmt.Errorf("transport: TLS dial %s: %w", addrs[j], err)
+					return
+				}
+				tconn.SetDeadline(time.Time{})
+				conn = tconn
 			}
 			var hello [4]byte
 			binary.LittleEndian.PutUint32(hello[:], uint32(id))
@@ -205,10 +262,8 @@ func (c *TCPConn) Send(to int, data []byte) error {
 	if _, err := c.peers[to].Write(data); err != nil {
 		return opError("send to", to, err)
 	}
-	c.mu.Lock()
-	c.bytes += int64(len(data))
-	c.msgs++
-	c.mu.Unlock()
+	c.stats[to].bytesSent.Add(int64(len(data)))
+	c.stats[to].msgsSent.Add(1)
 	return nil
 }
 
@@ -232,14 +287,38 @@ func (c *TCPConn) Recv(from int) ([]byte, error) {
 	if _, err := io.ReadFull(c.rds[from], data); err != nil {
 		return nil, opError("recv from", from, err)
 	}
+	c.stats[from].bytesRecv.Add(int64(size))
+	c.stats[from].msgsRecv.Add(1)
 	return data, nil
 }
 
-// Stats reports bytes/messages sent by this endpoint.
+// Stats reports bytes/messages sent by this endpoint. Counters are atomic:
+// safe to scrape concurrently with in-flight Send/Recv.
 func (c *TCPConn) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{Bytes: c.bytes, Messages: c.msgs}
+	var s Stats
+	for i := range c.stats {
+		s.Bytes += c.stats[i].bytesSent.Load()
+		s.Messages += c.stats[i].msgsSent.Load()
+	}
+	return s
+}
+
+// PeerStats reports the per-peer traffic breakdown (both directions).
+func (c *TCPConn) PeerStats() []TCPPeerStats {
+	out := make([]TCPPeerStats, 0, c.n-1)
+	for p := 0; p < c.n; p++ {
+		if p == c.id {
+			continue
+		}
+		out = append(out, TCPPeerStats{
+			Peer:      p,
+			BytesSent: c.stats[p].bytesSent.Load(),
+			MsgsSent:  c.stats[p].msgsSent.Load(),
+			BytesRecv: c.stats[p].bytesRecv.Load(),
+			MsgsRecv:  c.stats[p].msgsRecv.Load(),
+		})
+	}
+	return out
 }
 
 // Close shuts down all peer sockets.

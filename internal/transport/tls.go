@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// SiloServerName is the DNS SAN every silo certificate carries and the name
+// peers verify against. Silos authenticate as members of the federation, not
+// as individual hosts: deployments move silos between machines without
+// re-issuing certificates, and the CA (not the name) is the trust anchor —
+// only certificates signed by the federation CA pass mutual verification.
+const SiloServerName = "fedroad-silo"
+
+// TLSConfig names the PEM material for mutual-auth TLS between silos. Every
+// inter-silo link is authenticated in BOTH directions: the acceptor verifies
+// the dialer's client certificate and the dialer verifies the acceptor's
+// server certificate, each against CAFile. A zero value (all paths empty)
+// means plaintext; partially filled configs are rejected — accidentally
+// unauthenticated meshes must not start.
+type TLSConfig struct {
+	CertFile string // this silo's certificate (PEM)
+	KeyFile  string // this silo's private key (PEM)
+	CAFile   string // the federation CA bundle both directions verify against
+	// ServerName overrides the expected peer certificate name
+	// (default SiloServerName).
+	ServerName string
+}
+
+// Enabled reports whether any field is set (i.e. the mesh should use TLS).
+func (c *TLSConfig) Enabled() bool {
+	return c != nil && (c.CertFile != "" || c.KeyFile != "" || c.CAFile != "")
+}
+
+// load parses the certificate pair and CA pool.
+func (c *TLSConfig) load() (tls.Certificate, *x509.CertPool, error) {
+	if c.CertFile == "" || c.KeyFile == "" || c.CAFile == "" {
+		return tls.Certificate{}, nil, fmt.Errorf("transport: mTLS requires cert, key AND ca files (got cert=%q key=%q ca=%q)",
+			c.CertFile, c.KeyFile, c.CAFile)
+	}
+	cert, err := tls.LoadX509KeyPair(c.CertFile, c.KeyFile)
+	if err != nil {
+		return tls.Certificate{}, nil, fmt.Errorf("transport: load silo certificate: %w", err)
+	}
+	caPEM, err := os.ReadFile(c.CAFile)
+	if err != nil {
+		return tls.Certificate{}, nil, fmt.Errorf("transport: load CA: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(caPEM) {
+		return tls.Certificate{}, nil, fmt.Errorf("transport: CA file %s holds no usable certificate", c.CAFile)
+	}
+	return cert, pool, nil
+}
+
+func (c *TLSConfig) serverName() string {
+	if c.ServerName != "" {
+		return c.ServerName
+	}
+	return SiloServerName
+}
+
+// ServerTLS builds the acceptor-side config: present our certificate,
+// require and verify the dialer's certificate against the federation CA.
+func (c *TLSConfig) ServerTLS() (*tls.Config, error) {
+	cert, pool, err := c.load()
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		ClientCAs:    pool,
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+		MinVersion:   tls.VersionTLS13,
+	}, nil
+}
+
+// ClientTLS builds the dialer-side config: present our certificate, verify
+// the acceptor's certificate against the federation CA.
+func (c *TLSConfig) ClientTLS() (*tls.Config, error) {
+	cert, pool, err := c.load()
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		RootCAs:      pool,
+		ServerName:   c.serverName(),
+		MinVersion:   tls.VersionTLS13,
+	}, nil
+}
+
+// GenerateTestCerts writes a throwaway federation PKI into dir: a self-signed
+// CA (ca.pem) and one certificate + key per silo (silo<i>.pem, silo<i>.key),
+// each signed by the CA with the SiloServerName SAN and loopback IP SANs.
+// This is the self-signed quickstart for local meshes, the cross-process
+// chaos harness and CI — production deployments bring their own CA.
+func GenerateTestCerts(dir string, silos int) error {
+	if silos < 2 {
+		return fmt.Errorf("transport: need at least 2 silos, got %d", silos)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	caKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return err
+	}
+	caTmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "fedroad test federation CA"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	caDER, err := x509.CreateCertificate(rand.Reader, caTmpl, caTmpl, &caKey.PublicKey, caKey)
+	if err != nil {
+		return err
+	}
+	if err := writePEM(filepath.Join(dir, "ca.pem"), "CERTIFICATE", caDER, 0o644); err != nil {
+		return err
+	}
+	caCert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < silos; i++ {
+		key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+		if err != nil {
+			return err
+		}
+		tmpl := &x509.Certificate{
+			SerialNumber: big.NewInt(int64(i) + 2),
+			Subject:      pkix.Name{CommonName: fmt.Sprintf("fedroad silo %d", i)},
+			NotBefore:    time.Now().Add(-time.Hour),
+			NotAfter:     time.Now().Add(24 * time.Hour),
+			KeyUsage:     x509.KeyUsageDigitalSignature,
+			ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+			DNSNames:     []string{SiloServerName},
+			IPAddresses:  []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+		}
+		der, err := x509.CreateCertificate(rand.Reader, tmpl, caCert, &key.PublicKey, caKey)
+		if err != nil {
+			return err
+		}
+		if err := writePEM(filepath.Join(dir, fmt.Sprintf("silo%d.pem", i)), "CERTIFICATE", der, 0o644); err != nil {
+			return err
+		}
+		keyDER, err := x509.MarshalECPrivateKey(key)
+		if err != nil {
+			return err
+		}
+		if err := writePEM(filepath.Join(dir, fmt.Sprintf("silo%d.key", i)), "EC PRIVATE KEY", keyDER, 0o600); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestCertConfig returns the TLSConfig for silo i under a GenerateTestCerts
+// directory.
+func TestCertConfig(dir string, silo int) *TLSConfig {
+	return &TLSConfig{
+		CertFile: filepath.Join(dir, fmt.Sprintf("silo%d.pem", silo)),
+		KeyFile:  filepath.Join(dir, fmt.Sprintf("silo%d.key", silo)),
+		CAFile:   filepath.Join(dir, "ca.pem"),
+	}
+}
+
+func writePEM(path, typ string, der []byte, mode os.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, mode)
+	if err != nil {
+		return err
+	}
+	if err := pem.Encode(f, &pem.Block{Type: typ, Bytes: der}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
