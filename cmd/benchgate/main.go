@@ -41,9 +41,10 @@ import (
 )
 
 type rowKey struct {
-	dataset string
-	workers int
-	batched bool
+	dataset   string
+	workers   int
+	batched   bool
+	customize bool
 }
 
 // errSkip marks a well-formed report of a different experiment (e.g. the
@@ -67,7 +68,7 @@ func load(path string) (map[rowKey]expr.BuildBenchRow, []rowKey, error) {
 	rows := make(map[rowKey]expr.BuildBenchRow, len(rep.Rows))
 	var order []rowKey
 	for _, r := range rep.Rows {
-		k := rowKey{r.Dataset, r.Workers, r.Batched}
+		k := rowKey{r.Dataset, r.Workers, r.Batched, r.Customize}
 		if _, dup := rows[k]; dup {
 			return nil, nil, fmt.Errorf("%s: duplicate row %+v", path, k)
 		}
@@ -90,7 +91,7 @@ func main() {
 	if err != nil {
 		exitLoad(*basePath, err)
 	}
-	cur, _, err := load(*curPath)
+	cur, curOrder, err := load(*curPath)
 	if err != nil {
 		exitLoad(*curPath, err)
 	}
@@ -99,17 +100,21 @@ func main() {
 	b.WriteString("## benchgate: index-build perf vs baseline\n\n")
 	fmt.Fprintf(&b, "baseline `%s` vs current `%s`, mpc_rounds tolerance +%.0f%%\n\n",
 		*basePath, *curPath, *tol*100)
-	b.WriteString("| dataset | workers | batched | mpc_rounds (base → cur) | Δ | time ms (base → cur) | Δ | verdict |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	b.WriteString("| dataset | workers | batched | mode | mpc_rounds (base → cur) | Δ | time ms (base → cur) | Δ | verdict |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
 
 	var failures []string
 	for _, k := range order {
 		br := base[k]
 		cr, ok := cur[k]
+		mode := "build"
+		if k.customize {
+			mode = "customize"
+		}
 		if !ok {
-			failures = append(failures, fmt.Sprintf("row %s/workers=%d/batched=%v missing from current report", k.dataset, k.workers, k.batched))
-			fmt.Fprintf(&b, "| %s | %d | %v | %d → (missing) | — | %.1f → — | — | ❌ missing |\n",
-				k.dataset, k.workers, k.batched, br.MPCRounds, br.TimeMs)
+			failures = append(failures, fmt.Sprintf("row %s/workers=%d/batched=%v/%s missing from current report", k.dataset, k.workers, k.batched, mode))
+			fmt.Fprintf(&b, "| %s | %d | %v | %s | %d → (missing) | — | %.1f → — | — | ❌ missing |\n",
+				k.dataset, k.workers, k.batched, mode, br.MPCRounds, br.TimeMs)
 			continue
 		}
 		roundsDelta := ratioDelta(float64(cr.MPCRounds), float64(br.MPCRounds))
@@ -117,16 +122,16 @@ func main() {
 		verdict := "✅"
 		if float64(cr.MPCRounds) > float64(br.MPCRounds)*(1+*tol) {
 			verdict = "❌ mpc_rounds regression"
-			failures = append(failures, fmt.Sprintf("%s/workers=%d/batched=%v: mpc_rounds %d → %d (%+.1f%%, tolerance +%.0f%%)",
-				k.dataset, k.workers, k.batched, br.MPCRounds, cr.MPCRounds, roundsDelta, *tol*100))
+			failures = append(failures, fmt.Sprintf("%s/workers=%d/batched=%v/%s: mpc_rounds %d → %d (%+.1f%%, tolerance +%.0f%%)",
+				k.dataset, k.workers, k.batched, mode, br.MPCRounds, cr.MPCRounds, roundsDelta, *tol*100))
 		}
 		if *wallTol > 0 && cr.TimeMs > br.TimeMs*(1+*wallTol) {
 			verdict = "❌ wall regression"
-			failures = append(failures, fmt.Sprintf("%s/workers=%d/batched=%v: wall %.1fms → %.1fms (%+.1f%%, tolerance +%.0f%%)",
-				k.dataset, k.workers, k.batched, br.TimeMs, cr.TimeMs, wallDelta, *wallTol*100))
+			failures = append(failures, fmt.Sprintf("%s/workers=%d/batched=%v/%s: wall %.1fms → %.1fms (%+.1f%%, tolerance +%.0f%%)",
+				k.dataset, k.workers, k.batched, mode, br.TimeMs, cr.TimeMs, wallDelta, *wallTol*100))
 		}
-		fmt.Fprintf(&b, "| %s | %d | %v | %d → %d | %+.1f%% | %.1f → %.1f | %+.1f%% | %s |\n",
-			k.dataset, k.workers, k.batched, br.MPCRounds, cr.MPCRounds, roundsDelta,
+		fmt.Fprintf(&b, "| %s | %d | %v | %s | %d → %d | %+.1f%% | %.1f → %.1f | %+.1f%% | %s |\n",
+			k.dataset, k.workers, k.batched, mode, br.MPCRounds, cr.MPCRounds, roundsDelta,
 			br.TimeMs, cr.TimeMs, wallDelta, verdict)
 	}
 
@@ -134,11 +139,11 @@ func main() {
 	// within the current report so runner speed cannot mask or fake it.
 	b.WriteString("\n### batching invariant (current run)\n\n")
 	for _, k := range order {
-		if k.workers != 1 || k.batched {
+		if k.workers != 1 || k.batched || k.customize {
 			continue
 		}
 		unb, ok1 := cur[k]
-		bat, ok2 := cur[rowKey{k.dataset, 1, true}]
+		bat, ok2 := cur[rowKey{k.dataset, 1, true, false}]
 		if !ok1 || !ok2 {
 			continue
 		}
@@ -153,6 +158,22 @@ func main() {
 		if bat.TimeMs > unb.TimeMs {
 			fmt.Fprintf(&b, "- ⚠️ %s: batched time %.1fms > unbatched %.1fms (advisory)\n", k.dataset, bat.TimeMs, unb.TimeMs)
 		}
+	}
+
+	// Same-run customize invariant: refreshing the index per traffic version
+	// must stay far cheaper than rebuilding it. Reports without customize rows
+	// (older formats, partial runs) skip the check cleanly instead of failing.
+	b.WriteString("\n### customize invariant (current run)\n\n")
+	custLines, custFailures, custErr := customizeGate(cur, curOrder)
+	var skip errSkip
+	switch {
+	case errors.As(custErr, &skip):
+		fmt.Fprintf(&b, "- report lacks customize rows (%v) — invariant skipped\n", custErr)
+	default:
+		for _, l := range custLines {
+			b.WriteString(l + "\n")
+		}
+		failures = append(failures, custFailures...)
 	}
 
 	if len(failures) == 0 {
@@ -174,6 +195,47 @@ func main() {
 	if len(failures) > 0 {
 		os.Exit(1)
 	}
+}
+
+// customizeGate checks the same-run customize-rounds invariant: for every
+// dataset carrying a customize row, the weight-customization sweep must spend
+// LESS THAN 25% of the MPC rounds of that dataset's sequential batched full
+// build (4×customize < build, exact integer arithmetic). Like the batching
+// invariant it is judged within one report, so runner speed can neither mask
+// nor fake it. A report with no customize rows at all returns errSkip: older
+// report formats are not gated on data they do not carry.
+func customizeGate(cur map[rowKey]expr.BuildBenchRow, order []rowKey) (lines, failures []string, err error) {
+	found := false
+	for _, k := range order {
+		if !k.customize {
+			continue
+		}
+		found = true
+		cust := cur[k]
+		build, ok := cur[rowKey{dataset: k.dataset, workers: 1, batched: true}]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: customize row has no sequential batched build row to compare against", k.dataset))
+			lines = append(lines, fmt.Sprintf("- ❌ %s: missing the sequential batched build row", k.dataset))
+			continue
+		}
+		pct := 0.0
+		if build.MPCRounds > 0 {
+			pct = float64(cust.MPCRounds) / float64(build.MPCRounds) * 100
+		}
+		if 4*cust.MPCRounds < build.MPCRounds {
+			lines = append(lines, fmt.Sprintf("- ✅ %s: customize %d rounds < 25%% of full build %d rounds (%.1f%%)",
+				k.dataset, cust.MPCRounds, build.MPCRounds, pct))
+		} else {
+			failures = append(failures, fmt.Sprintf("%s: customize spends %d MPC rounds, full build %d — refresh cost is %.1f%% of a rebuild (must be < 25%%)",
+				k.dataset, cust.MPCRounds, build.MPCRounds, pct))
+			lines = append(lines, fmt.Sprintf("- ❌ %s: customize %d rounds ≥ 25%% of full build %d rounds (%.1f%%)",
+				k.dataset, cust.MPCRounds, build.MPCRounds, pct))
+		}
+	}
+	if !found {
+		return nil, nil, errSkip{"index-build without customize rows"}
+	}
+	return lines, failures, nil
 }
 
 // exitLoad terminates on a load failure: an errSkip (a report from another

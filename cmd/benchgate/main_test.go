@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -72,3 +73,92 @@ func TestLoadRejectsDuplicateRows(t *testing.T) {
 		t.Fatal("duplicate rows accepted")
 	}
 }
+
+// A customize row at the same (dataset, workers, batched) as a build row is
+// NOT a duplicate — the customize flag is part of the row identity.
+func TestLoadDistinguishesCustomizeRows(t *testing.T) {
+	path := writeTemp(t, "r.json",
+		`{"experiment":"index-build","rows":[
+			{"dataset":"CAL-S","workers":1,"batched":true,"mpc_rounds":100},
+			{"dataset":"CAL-S","workers":1,"batched":true,"customize":true,"mpc_rounds":10}]}`)
+	rows, order, err := load(path)
+	if err != nil {
+		t.Fatalf("customize + build rows rejected as duplicates: %v", err)
+	}
+	if len(rows) != 2 || len(order) != 2 {
+		t.Fatalf("loaded %d rows, want 2", len(rows))
+	}
+}
+
+// customizeGate: reports with no customize rows at all must come back as
+// errSkip — older report formats are not failed over data they do not carry.
+func TestCustomizeGateSkipsReportsWithoutCustomizeData(t *testing.T) {
+	path := writeTemp(t, "r.json",
+		`{"experiment":"index-build","rows":[{"dataset":"CAL-S","workers":1,"batched":true,"mpc_rounds":100}]}`)
+	rows, order, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, failures, err := customizeGate(rows, order)
+	var skip errSkip
+	if !errors.As(err, &skip) {
+		t.Fatalf("err %v, want errSkip", err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("skipped gate produced failures: %v", failures)
+	}
+}
+
+// customizeGate: the 25% threshold is a strict 4×customize < build integer
+// comparison against the sequential batched build of the same dataset.
+func TestCustomizeGateEnforces25Percent(t *testing.T) {
+	mk := func(custRounds int) string {
+		return writeTemp(t, "r.json", `{"experiment":"index-build","rows":[
+			{"dataset":"CAL-S","workers":1,"batched":true,"mpc_rounds":1000},
+			{"dataset":"CAL-S","workers":8,"batched":true,"customize":true,"mpc_rounds":`+itoa(custRounds)+`}]}`)
+	}
+	for _, tc := range []struct {
+		rounds int
+		pass   bool
+	}{
+		{249, true},  // strictly under 25%
+		{250, false}, // exactly 25% — 4*250 == 1000, not < — fails
+		{999, false},
+	} {
+		path := mk(tc.rounds)
+		rows, order, err := load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines, failures, err := customizeGate(rows, order)
+		if err != nil {
+			t.Fatalf("rounds=%d: unexpected error %v", tc.rounds, err)
+		}
+		if len(lines) != 1 {
+			t.Fatalf("rounds=%d: %d summary lines, want 1", tc.rounds, len(lines))
+		}
+		if got := len(failures) == 0; got != tc.pass {
+			t.Fatalf("rounds=%d: pass=%v, want %v (failures: %v)", tc.rounds, got, tc.pass, failures)
+		}
+	}
+}
+
+// customizeGate: a customize row without its dataset's sequential batched
+// build row is a hard failure (the invariant cannot be evaluated).
+func TestCustomizeGateFailsWithoutBuildRow(t *testing.T) {
+	path := writeTemp(t, "r.json",
+		`{"experiment":"index-build","rows":[{"dataset":"CAL-S","workers":8,"batched":true,"customize":true,"mpc_rounds":10}]}`)
+	rows, order, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, failures, err := customizeGate(rows, order)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if len(failures) != 1 {
+		t.Fatalf("%d failures, want 1", len(failures))
+	}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -86,6 +86,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		noIndex  = flag.Bool("no-index", false, "skip building the shortcut index")
 		idxWkrs  = flag.Int("index-workers", 0, "contraction workers for the parallel index build (0 = GOMAXPROCS)")
+		custIdx  = flag.Bool("customize", false, "derive the shortcut index by weight customization over a topology-only skeleton (contract once per graph, customize per traffic version) instead of a full federated contraction")
+		reindex  = flag.Duration("reindex-interval", 0, "periodically re-derive the index off-lock from live weights when traffic has moved — a customization sweep when a skeleton exists, a full rebuild otherwise (0 = disabled)")
 		protocol = flag.Bool("protocol", false, "run the full MPC protocol per comparison (default: ideal mode with analytic cost accounting)")
 		maxConc  = flag.Int("max-concurrent", 0, "max in-flight queries (0 = 4x GOMAXPROCS)")
 		maxQueue = flag.Int("max-queue", 0, "queries allowed to queue beyond -max-concurrent before shedding with 429 (0 = unbounded queue, no shedding)")
@@ -166,17 +168,36 @@ func main() {
 			*persist, ps.RestoreMs, ps.RestoredIndex, ps.ReplayedDeltas)
 	}
 
+	if *custIdx && !fed.HasSkeleton() {
+		// Topology-only contraction: plaintext, no MPC, reusable for every
+		// future traffic version. A restored customized index already carries
+		// its skeleton, in which case this is skipped.
+		start := time.Now()
+		if err := fed.BuildSkeleton(fedroad.IndexParams{Workers: *idxWkrs}); err != nil {
+			fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
+			os.Exit(1)
+		}
+		sst := fed.SkeletonStats()
+		log.Printf("skeleton: %d shortcuts in %v (plaintext topology contraction)",
+			sst.Shortcuts, time.Since(start).Round(time.Millisecond))
+	}
 	if !*noIndex && !fed.HasIndex() {
 		start := time.Now()
-		if err := fed.BuildIndexWith(fedroad.IndexParams{Workers: *idxWkrs}); err != nil {
+		if err := fed.BuildIndexWith(fedroad.IndexParams{Workers: *idxWkrs, CustomizeOnly: *custIdx}); err != nil {
 			fmt.Fprintf(os.Stderr, "fedserver: %v\n", err)
 			os.Exit(1)
 		}
 		st := fed.IndexStats()
-		log.Printf("index: %d shortcuts in %v (%d workers, %d contraction rounds)",
-			st.Shortcuts, time.Since(start).Round(time.Millisecond), st.Workers, st.Rounds)
+		if st.Customized {
+			log.Printf("index: %d shortcuts customized in %v (%d workers, %d levels, %d MPC rounds)",
+				st.Shortcuts, time.Since(start).Round(time.Millisecond), st.Workers, st.Levels, st.SAC.Rounds)
+		} else {
+			log.Printf("index: %d shortcuts in %v (%d workers, %d contraction rounds)",
+				st.Shortcuts, time.Since(start).Round(time.Millisecond), st.Workers, st.Rounds)
+		}
 	} else if fed.HasIndex() {
-		log.Printf("index: restored from snapshot (%d shortcuts), MPC rebuild skipped", fed.IndexStats().Shortcuts)
+		log.Printf("index: restored from snapshot (%d shortcuts, customized: %v), MPC rebuild skipped",
+			fed.IndexStats().Shortcuts, fed.IndexStats().Customized)
 	}
 	if pers != nil {
 		// Fold the restored-or-built index and any replayed deltas into a
@@ -209,6 +230,48 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *reindex > 0 && !*noIndex {
+		// Rolling index swap: re-derive the serving index from live weights on
+		// a timer, entirely off-lock — queries keep flowing against the old
+		// index until the replacement swaps in. With a skeleton the refresh is
+		// a cheap customization sweep; traffic landing mid-pass is absorbed by
+		// bounded conflict retries.
+		go func() {
+			tick := time.NewTicker(*reindex)
+			defer tick.Stop()
+			lastVer := fed.TrafficVersion()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				ver := fed.TrafficVersion()
+				if ver == lastVer {
+					continue // nothing moved; the index is already current
+				}
+				lastVer = ver
+				prm := fedroad.IndexParams{Workers: *idxWkrs, RebuildOnConflict: 2}
+				start := time.Now()
+				var err error
+				if fed.HasSkeleton() {
+					err = fed.CustomizeIndexWith(prm)
+				} else {
+					err = fed.BuildIndexWith(prm)
+				}
+				if err != nil {
+					log.Printf("reindex: %v", err)
+					continue
+				}
+				st := fed.IndexStats()
+				log.Printf("reindex: swapped in %v (customized: %v, %d MPC rounds)",
+					time.Since(start).Round(time.Millisecond), st.Customized, st.SAC.Rounds)
+			}
+		}()
+		log.Printf("reindex: rolling swap every %v (customization preferred when a skeleton exists)", *reindex)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("listening on http://%s", *addr)

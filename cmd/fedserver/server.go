@@ -686,8 +686,28 @@ func (s *server) meshBlock() *meshStatsJSON {
 	return out
 }
 
+// customizeStatsJSON is the /stats view of the contract-once /
+// customize-per-metric pipeline: whether a topology skeleton is available,
+// whether the serving index came out of a customization sweep, and the
+// latency / MPC-round cost of the most recent pass.
+type customizeStatsJSON struct {
+	HasSkeleton     bool  `json:"has_skeleton"`
+	IndexCustomized bool  `json:"index_customized"`
+	Passes          int64 `json:"passes"`
+	LastWallMs      int64 `json:"last_wall_ms"`
+	LastMPCRounds   int64 `json:"last_mpc_rounds"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.fed.IndexStats()
+	ci := s.fed.CustomizeInfo()
+	custBlock := customizeStatsJSON{
+		HasSkeleton:     s.fed.HasSkeleton(),
+		IndexCustomized: st.Customized,
+		Passes:          ci.Customizes,
+		LastWallMs:      ci.LastWallMs,
+		LastMPCRounds:   ci.LastMPCRounds,
+	}
 	pool := s.fed.PoolStats()
 	gs := s.gate.Stats()
 	var cacheBlock *cacheStatsJSON
@@ -712,6 +732,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IndexBuilding  bool               `json:"index_building"`
 		Shortcuts      int                `json:"shortcuts"`
 		BuildSACs      int64              `json:"build_fed_sacs"`
+		Customize      customizeStatsJSON `json:"customize"`
 		TrafficVersion uint64             `json:"traffic_version"`
 		UnitWeights    bool               `json:"unit_weights"`
 		QueriesServed  int64              `json:"queries_served"`
@@ -729,6 +750,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}{
 		s.fed.Graph().NumVertices(), s.fed.Graph().NumArcs(), s.fed.Silos(),
 		s.fed.HasIndex(), s.fed.IndexBuilding(), st.Shortcuts, st.SAC.Compares,
+		custBlock,
 		s.fed.TrafficVersion(), s.unitWeights,
 		s.queries.Load(), cap(s.sem),
 		admitStatsJSON{Limit: gs.Limit, Depth: gs.Depth, Admitted: gs.Admitted, Shed: gs.Shed},

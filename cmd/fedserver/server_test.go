@@ -501,6 +501,60 @@ func TestStatsReportsIndexBuilding(t *testing.T) {
 	}
 }
 
+// TestStatsCustomizeBlock: /stats surfaces the contract/customize pipeline
+// (skeleton presence, customized-index flag, pass count and last-pass cost)
+// and /metrics exports the corresponding counters.
+func TestStatsCustomizeBlock(t *testing.T) {
+	g, w0 := fedroad.GenerateRoadNetwork(120, 41)
+	silosW := fedroad.SimulateCongestion(w0, 3, fedroad.Moderate, 42)
+	fed, err := fedroad.New(g, w0, silosW, fedroad.Config{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.BuildSkeleton(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.CustomizeIndex(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(fed, 4).routes())
+	t.Cleanup(ts.Close)
+
+	var st struct {
+		HasIndex  bool               `json:"has_index"`
+		Customize customizeStatsJSON `json:"customize"`
+	}
+	if r := getJSON(t, ts.URL+"/stats", &st); r.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", r.StatusCode)
+	}
+	if !st.HasIndex {
+		t.Fatal("has_index false after CustomizeIndex")
+	}
+	c := st.Customize
+	if !c.HasSkeleton || !c.IndexCustomized {
+		t.Fatalf("customize block missing skeleton/customized flags: %+v", c)
+	}
+	if c.Passes != 1 || c.LastMPCRounds <= 0 {
+		t.Fatalf("customize block counters: %+v", c)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, metric := range []string{
+		"fedroad_index_customizes_total 1",
+		"fedroad_index_customize_mpc_rounds_total",
+		"fedroad_index_customize_seconds",
+	} {
+		if !strings.Contains(string(body), metric) {
+			t.Fatalf("/metrics missing %q", metric)
+		}
+	}
+}
+
 func TestConcurrentRequests(t *testing.T) {
 	ts, fed, _ := testServer(t)
 	var wg sync.WaitGroup

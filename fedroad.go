@@ -293,10 +293,17 @@ type Federation struct {
 	mu    sync.RWMutex // queries read-lock; state mutation write-locks
 	inner *fed.Federation
 	index *ch.Index
+	skel  *ch.Skeleton // topology skeleton for weight customization (guarded by mu)
 	lm    *lb.Landmarks
 	cfg   Config
 	pool  *mpc.Pool
 	mesh  *transport.LocalMesh
+
+	// Customization pass accounting (atomics: read by gauges and /stats
+	// without taking mu).
+	customizes     atomic.Int64
+	lastCustMs     atomic.Int64
+	lastCustRounds atomic.Int64
 
 	// trafficVer counts silo-weight mutations (guarded by mu). Off-lock
 	// builders record it at snapshot time; a changed version at swap time
@@ -327,6 +334,13 @@ type buildMetricSet struct {
 	phaseOrdering    *metrics.Counter
 	phaseContraction *metrics.Counter
 	lastAvgWidth     atomic.Uint64 // math.Float64bits of the last build's AvgRoundWidth
+
+	// Weight-customization pipeline (the contract-once / customize-per-metric
+	// split; see DESIGN.md "Customizable hierarchy").
+	customizes    *metrics.Counter
+	custConflicts *metrics.Counter
+	custSeconds   *metrics.Histogram
+	custRounds    *metrics.Counter
 }
 
 // queryMetricSet is the per-query-kind ("spsp", "sssp") instrument bundle.
@@ -456,6 +470,10 @@ func (f *Federation) initMetrics() {
 		roundsSaved:      f.reg.Counter("fedroad_index_build_mpc_rounds_saved_total", "MPC communication rounds avoided by batched Fed-SAC decisions during builds", nil),
 		phaseOrdering:    f.reg.Counter("fedroad_index_build_phase_seconds_total", "index-build wall time by phase", metrics.Labels{"phase": "ordering"}),
 		phaseContraction: f.reg.Counter("fedroad_index_build_phase_seconds_total", "index-build wall time by phase", metrics.Labels{"phase": "contraction"}),
+		customizes:       f.reg.Counter("fedroad_index_customizes_total", "weight-customization passes that completed and were swapped in", nil),
+		custConflicts:    f.reg.Counter("fedroad_index_customize_conflicts_total", "customization passes discarded because traffic changed mid-pass", nil),
+		custSeconds:      f.reg.Histogram("fedroad_index_customize_seconds", "wall time of completed weight-customization passes", nil, nil),
+		custRounds:       f.reg.Counter("fedroad_index_customize_mpc_rounds_total", "MPC communication rounds spent by weight-customization passes", nil),
 	}
 	bm := f.bm
 	f.reg.GaugeFunc("fedroad_index_build_in_progress", "off-lock index builds currently running", nil,
@@ -618,6 +636,9 @@ func (f *Federation) BuildIndex() error {
 // ErrBuildConflict is returned and any previously built index stays in
 // service.
 func (f *Federation) BuildIndexWith(prm IndexParams) error {
+	if prm.CustomizeOnly {
+		return f.CustomizeIndexWith(prm)
+	}
 	f.building.Add(1)
 	defer f.building.Add(-1)
 	for attempt := 0; ; attempt++ {
@@ -662,6 +683,189 @@ func (f *Federation) recordBuild(st ch.BuildStats) {
 	f.bm.phaseOrdering.Add(st.OrderingTime.Seconds())
 	f.bm.phaseContraction.Add(st.ContractionTime.Seconds())
 	f.bm.lastAvgWidth.Store(math.Float64bits(st.AvgRoundWidth))
+}
+
+// BuildSkeleton constructs the federation's topology skeleton: the vertex
+// order plus the full shortcut structure, derived once per graph from public
+// information only (topology and static weights — no silo weights, no MPC).
+// The skeleton is metric-independent; CustomizeIndex derives a queryable
+// index from it for the CURRENT silo weights in a fraction of the MPC rounds
+// a full BuildIndexWith costs. Idempotent: a second call keeps the existing
+// skeleton (the topology is immutable, so it never goes stale).
+func (f *Federation) BuildSkeleton(prm ...IndexParams) error {
+	var p IndexParams
+	if len(prm) > 1 {
+		return fmt.Errorf("fedroad: at most one IndexParams")
+	}
+	if len(prm) == 1 {
+		p = prm[0]
+	}
+	_, err := f.ensureSkeleton(p)
+	return err
+}
+
+// ensureSkeleton returns the federation's skeleton, building it on first
+// demand. The build runs entirely off-lock — it reads only the immutable
+// topology and static weights — with double-checked locking so concurrent
+// callers never install two skeletons.
+func (f *Federation) ensureSkeleton(prm IndexParams) (*ch.Skeleton, error) {
+	f.mu.RLock()
+	sk := f.skel
+	f.mu.RUnlock()
+	if sk != nil {
+		return sk, nil
+	}
+	built, err := ch.BuildSkeleton(f.inner.Graph(), f.inner.StaticWeights(), prm)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	if f.skel == nil {
+		f.skel = built
+	}
+	sk = f.skel
+	f.mu.Unlock()
+	return sk, nil
+}
+
+// HasSkeleton reports whether a topology skeleton is available, i.e. whether
+// CustomizeIndex can run (and ApplyTraffic's RebuildIndex option will prefer
+// customization over a full rebuild).
+func (f *Federation) HasSkeleton() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.skel != nil
+}
+
+// SkeletonStats reports the skeleton's shortcut count and (plaintext)
+// construction cost; the zero value when none has been built.
+func (f *Federation) SkeletonStats() ch.SkeletonStats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.skel == nil {
+		return ch.SkeletonStats{}
+	}
+	return f.skel.Stats()
+}
+
+// SaveSkeleton persists the topology skeleton (the FRSK format). The skeleton
+// is weight-free public structure — it needs no per-silo shards — and also
+// rides inside SaveState snapshots and WriteIndex bundles of customized
+// indexes automatically; this method exists for deployments that want to ship
+// the skeleton separately from any index.
+func (f *Federation) SaveSkeleton(w io.Writer) error {
+	f.mu.RLock()
+	sk := f.skel
+	f.mu.RUnlock()
+	if sk == nil {
+		return fmt.Errorf("fedroad: no skeleton built")
+	}
+	return sk.Write(w)
+}
+
+// LoadSkeleton restores a persisted topology skeleton, validating it against
+// the federation's graph, so a restart can go straight to CustomizeIndex
+// without re-running contraction.
+func (f *Federation) LoadSkeleton(r io.Reader) error {
+	sk, err := ch.ReadSkeleton(f.inner.Graph(), r)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.skel = sk
+	f.mu.Unlock()
+	return nil
+}
+
+// CustomizeIndex derives a fresh queryable index from the topology skeleton
+// and the CURRENT silo weights with default parameters, building the
+// skeleton first if none exists. See CustomizeIndexWith.
+func (f *Federation) CustomizeIndex() error {
+	return f.CustomizeIndexWith(IndexParams{})
+}
+
+// CustomizeIndexWith runs the weight-customization phase: a bottom-up sweep
+// over the fixed skeleton that re-derives every shortcut's private partial
+// weights with batched Fed-SAC group tournaments — one batch per hierarchy
+// level — instead of re-running ordering, witness searches and contraction.
+// The resulting index answers queries with byte-identical distances to a
+// from-scratch BuildIndexWith at the same traffic version, for a small
+// fraction of the MPC rounds.
+//
+// Like BuildIndexWith it never blocks queries or traffic updates: the sweep
+// runs off-lock against a weight snapshot and the finished index swaps in
+// under a brief write lock, with the same ErrBuildConflict /
+// RebuildOnConflict semantics when traffic moves mid-pass.
+func (f *Federation) CustomizeIndexWith(prm IndexParams) error {
+	sk, err := f.ensureSkeleton(prm)
+	if err != nil {
+		return err
+	}
+	f.building.Add(1)
+	defer f.building.Add(-1)
+	for attempt := 0; ; attempt++ {
+		f.mu.RLock()
+		ver := f.trafficVer
+		c, err := ch.NewCustomizer(f.inner, sk, prm)
+		f.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		idx, err := c.Run() // off-lock: queries and updates proceed
+		if err != nil {
+			return err
+		}
+		f.mu.Lock()
+		if f.trafficVer == ver {
+			f.index = idx
+			f.mu.Unlock()
+			f.recordCustomize(idx.BuildStatistics())
+			return nil
+		}
+		f.mu.Unlock()
+		if f.bm != nil {
+			f.bm.custConflicts.Inc()
+		}
+		if attempt >= prm.RebuildOnConflict {
+			return fmt.Errorf("%w (after %d attempt(s))", ErrBuildConflict, attempt+1)
+		}
+	}
+}
+
+// recordCustomize folds a completed customization pass's statistics into the
+// registry and the /stats atomics (nil-safe for tests constructing the
+// struct directly).
+func (f *Federation) recordCustomize(st ch.BuildStats) {
+	f.customizes.Add(1)
+	f.lastCustMs.Store(st.WallTime.Milliseconds())
+	f.lastCustRounds.Store(st.SAC.Rounds)
+	if f.bm == nil {
+		return
+	}
+	f.bm.customizes.Inc()
+	f.bm.custSeconds.Observe(st.WallTime.Seconds())
+	f.bm.custRounds.Add(float64(st.SAC.Rounds))
+}
+
+// CustomizeInfo summarizes the customization pipeline for serving tiers'
+// status endpoints. Reads atomics only — safe to call from metric callbacks.
+type CustomizeInfo struct {
+	// Customizes counts completed customization passes swapped in.
+	Customizes int64
+	// LastWallMs is the wall time of the most recent pass, in milliseconds.
+	LastWallMs int64
+	// LastMPCRounds is the Fed-SAC round count of the most recent pass.
+	LastMPCRounds int64
+}
+
+// CustomizeInfo reports the customization counters (zero values before the
+// first CustomizeIndex).
+func (f *Federation) CustomizeInfo() CustomizeInfo {
+	return CustomizeInfo{
+		Customizes:    f.customizes.Load(),
+		LastWallMs:    f.lastCustMs.Load(),
+		LastMPCRounds: f.lastCustRounds.Load(),
+	}
 }
 
 // HasIndex reports whether a shortcut index is currently serving queries.
@@ -826,18 +1030,45 @@ type TrafficUpdate struct {
 	TravelMs int64
 }
 
+// ApplyOption tunes how ApplyTraffic refreshes the shortcut index after the
+// batch lands.
+type ApplyOption int
+
+const (
+	// RebuildIndex replaces the in-place incremental index refresh with a
+	// fresh off-lock derivation after the batch is applied: a
+	// weight-customization pass over the topology skeleton when one exists
+	// (no ordering, no witness searches — a fraction of the MPC rounds), or
+	// a full federated rebuild otherwise. Queries keep using the previous
+	// index until the replacement swaps in; further traffic landing mid-pass
+	// triggers a bounded number of retries from fresh weights before
+	// ErrBuildConflict is returned.
+	RebuildIndex ApplyOption = iota
+)
+
 // ApplyTraffic validates and applies a batch of traffic updates and, when
-// the shortcut index is built, refreshes it — all inside one exclusive
-// critical section, so no query ever observes silo weights that disagree
-// with the index. Invalid updates are rejected up front; nothing is applied.
-func (f *Federation) ApplyTraffic(updates []TrafficUpdate) (ch.UpdateStats, error) {
+// the shortcut index is built, refreshes it — by default inside one exclusive
+// critical section (the federated partial update), so no query ever observes
+// silo weights that disagree with the index. Invalid updates are rejected up
+// front; nothing is applied.
+//
+// With the RebuildIndex option the refresh instead derives a whole fresh
+// index off-lock — preferring weight customization when a skeleton exists —
+// and the returned UpdateStats are zero (the work is a (re)build, not a
+// partial update).
+func (f *Federation) ApplyTraffic(updates []TrafficUpdate, opts ...ApplyOption) (ch.UpdateStats, error) {
+	rebuild := false
+	for _, o := range opts {
+		if o == RebuildIndex {
+			rebuild = true
+		}
+	}
 	for _, u := range updates {
 		if err := f.validateTraffic(u.Silo, u.Arc, u.TravelMs); err != nil {
 			return ch.UpdateStats{}, err
 		}
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	arcSet := make(map[Arc]bool, len(updates))
 	for _, u := range updates {
 		f.inner.Silo(u.Silo).SetWeight(u.Arc, u.TravelMs)
@@ -846,6 +1077,16 @@ func (f *Federation) ApplyTraffic(updates []TrafficUpdate) (ch.UpdateStats, erro
 	if len(updates) > 0 {
 		f.trafficVer++
 	}
+	if rebuild {
+		hasSkel := f.skel != nil
+		f.mu.Unlock()
+		prm := IndexParams{RebuildOnConflict: 2}
+		if hasSkel {
+			return ch.UpdateStats{}, f.CustomizeIndexWith(prm)
+		}
+		return ch.UpdateStats{}, f.BuildIndexWith(prm)
+	}
+	defer f.mu.Unlock()
 	if f.index == nil {
 		return ch.UpdateStats{}, nil
 	}

@@ -66,6 +66,11 @@ type Params struct {
 	// weight snapshot mid-build, the build is retried from fresh weights up
 	// to this many times before ErrBuildConflict is returned.
 	RebuildOnConflict int
+	// CustomizeOnly is consumed by the fedroad layer's BuildIndexWith: the
+	// index is derived by weight customization over the federation's
+	// topology skeleton (building the skeleton first if none exists)
+	// instead of a witness-pruned federated contraction.
+	CustomizeOnly bool
 }
 
 // Build constructs the federated shortcut index with the default parameters.

@@ -15,9 +15,10 @@ import (
 // fuzzEnv builds one small valid index and serializes it, shared across all
 // fuzz executions (the corpus mutates the bytes, not the build).
 type fuzzEnv struct {
-	f      *fed.Federation
-	public []byte
-	shards [][]byte
+	f        *fed.Federation
+	public   []byte
+	shards   [][]byte
+	skeleton []byte // serialized topology skeleton of the same graph
 }
 
 var (
@@ -49,6 +50,15 @@ func getFuzzEnv(tb testing.TB) *fuzzEnv {
 			}
 			env.shards = append(env.shards, b.Bytes())
 		}
+		sk, err := BuildSkeleton(g, w0, Params{})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var skb bytes.Buffer
+		if err := sk.Write(&skb); err != nil {
+			tb.Fatal(err)
+		}
+		env.skeleton = skb.Bytes()
 		fuzzed = env
 	})
 	return fuzzed
@@ -149,6 +159,52 @@ func FuzzReadIndex(f *testing.F) {
 					t.Fatalf("loaded index has non-positive weight (silo %d, arc %d)", p, a)
 				}
 			}
+		}
+	})
+}
+
+// FuzzLoadSkeleton feeds mutated FRSK bytes into ReadSkeleton: a persisted
+// skeleton is the topology a restart re-customizes over, so a corrupt one
+// must fail validation — never panic, over-allocate, or load a skeleton that
+// would later produce wrong routes. Anything that loads must decode to the
+// exact topology that was written (the checksum makes weaker outcomes
+// impossible).
+func FuzzLoadSkeleton(f *testing.F) {
+	env := getFuzzEnv(f)
+	valid := env.skeleton
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncation mid-arc-table
+	f.Add(valid[:19])           // truncated header
+	f.Add(valid[:len(valid)-2]) // missing checksum tail
+	f.Add([]byte{})
+	for _, off := range []int{0, 4, 8, 12, 16, 20, 24, len(valid) / 2, len(valid) - 5} {
+		if off >= 0 && off+4 <= len(valid) {
+			mut := append([]byte(nil), valid...)
+			mut[off] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env := getFuzzEnv(t)
+		g := env.f.Graph()
+		sk, err := ReadSkeleton(g, bytes.NewReader(data))
+		if err != nil {
+			return // clean rejection is the expected outcome for corrupt input
+		}
+		// Accepted input must round-trip to the identical byte stream: the
+		// trailing checksum covers every field, so an accepted skeleton can
+		// only be the one that was written (possibly with trailing garbage
+		// after the checksum, which the reader never consumes).
+		var out bytes.Buffer
+		if err := sk.Write(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), valid) {
+			t.Fatal("accepted skeleton differs from the one written")
+		}
+		// And its customization plan must be derivable without panics.
+		if sk.Levels() < 0 {
+			t.Fatal("negative level depth")
 		}
 	})
 }

@@ -59,6 +59,14 @@ type Index struct {
 	witnessHops int
 	noBatch     bool // resolve Fed-SAC decisions one-by-one (diagnostics)
 	buildStats  BuildStats
+
+	// Customized indexes only: the immutable topology skeleton this index
+	// was customized from, and the current winner (joint-minimum overlay
+	// arc) of every pair group — the metric-dependent half of the
+	// customization state. custWinner is rebuilt lazily from childA/childB
+	// after deserialization.
+	skel       *Skeleton
+	custWinner []int32
 }
 
 // BuildStats reports the construction cost of the index.
@@ -78,6 +86,10 @@ type BuildStats struct {
 	RoundsSaved     int64
 	OrderingTime    time.Duration // public plaintext ordering phase
 	ContractionTime time.Duration // federated contraction phase
+
+	// Customization statistics (customizable-contraction indexes only).
+	Customized bool // index came from Customize over a skeleton, not Build
+	Levels     int  // customization sweep depth (deepest shortcut level)
 }
 
 // Federation returns the federation this index belongs to.
@@ -94,6 +106,14 @@ func (x *Index) NumShortcuts() int { return len(x.tail) - x.numBase }
 
 // BuildStatistics reports the construction cost.
 func (x *Index) BuildStatistics() BuildStats { return x.buildStats }
+
+// Customized reports whether this index was derived from a topology skeleton
+// by weight customization (as opposed to a witness-pruned federated build).
+func (x *Index) Customized() bool { return x.skel != nil }
+
+// Skeleton returns the topology skeleton a customized index was derived
+// from, or nil for a witness-built index.
+func (x *Index) Skeleton() *Skeleton { return x.skel }
 
 // Tail returns the overlay arc's source vertex.
 func (x *Index) Tail(a int32) graph.Vertex { return x.tail[a] }

@@ -30,6 +30,10 @@ const (
 	indexVersion = 1
 	shardMagic   = 0x46525348 // "FRSH"
 	bundleMagic  = 0x46524958 // "FRIX" — WriteIndex/ReadIndex single-stream bundle
+	// Bundle v2 appends an optional skeleton section (FRSK) after the weight
+	// shards, so a restart of a customized index re-customizes instead of
+	// re-contracting. v1 bundles (no skeleton) still load.
+	bundleVersion = 2
 )
 
 type binWriter struct {
@@ -413,7 +417,7 @@ const maxBundleSection = 1 << 31
 // WritePublic/WriteSiloWeights instead.
 func (x *Index) WriteIndex(w io.Writer) error {
 	cw := &binWriter{w: bufio.NewWriter(w)}
-	for _, v := range []uint32{bundleMagic, indexVersion, uint32(len(x.siloW))} {
+	for _, v := range []uint32{bundleMagic, bundleVersion, uint32(len(x.siloW))} {
 		if err := cw.u32(v); err != nil {
 			return err
 		}
@@ -441,6 +445,18 @@ func (x *Index) WriteIndex(w io.Writer) error {
 			return err
 		}
 	}
+	hasSkel := uint32(0)
+	if x.skel != nil {
+		hasSkel = 1
+	}
+	if err := cw.u32(hasSkel); err != nil {
+		return err
+	}
+	if x.skel != nil {
+		if err := section(x.skel.Write); err != nil {
+			return err
+		}
+	}
 	return cw.w.Flush()
 }
 
@@ -461,7 +477,7 @@ func ReadIndex(f *fed.Federation, r io.Reader) (*Index, error) {
 	if hdr[0] != bundleMagic {
 		return nil, fmt.Errorf("ch: bundle bad magic %#x", hdr[0])
 	}
-	if hdr[1] != indexVersion {
+	if hdr[1] != 1 && hdr[1] != bundleVersion {
 		return nil, fmt.Errorf("ch: bundle unsupported version %d", hdr[1])
 	}
 	if int(hdr[2]) != f.P() {
@@ -498,5 +514,55 @@ func ReadIndex(f *fed.Federation, r io.Reader) (*Index, error) {
 		}
 		shards[p] = sr
 	}
-	return LoadIndex(f, public, shards)
+	x, err := LoadIndex(f, public, shards)
+	if err != nil {
+		return nil, err
+	}
+	if hdr[1] >= bundleVersion {
+		hasSkel, err := rd.u32()
+		if err != nil {
+			return nil, fmt.Errorf("ch: bundle skeleton flag: %w", err)
+		}
+		if hasSkel > 1 {
+			return nil, fmt.Errorf("ch: bundle skeleton flag %d invalid", hasSkel)
+		}
+		if hasSkel == 1 {
+			sr, err := section()
+			if err != nil {
+				return nil, fmt.Errorf("ch: bundle skeleton section: %w", err)
+			}
+			sk, err := ReadSkeleton(f.Graph(), sr)
+			if err != nil {
+				return nil, err
+			}
+			if err := attachSkeleton(x, sk); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return x, nil
+}
+
+// attachSkeleton cross-validates a bundled skeleton against the index loaded
+// from the same bundle — a customized index must mirror its skeleton's
+// topology arc for arc — and marks the index customized. The per-group
+// winner table is rebuilt lazily from the recorded children on the first
+// dynamic update.
+func attachSkeleton(x *Index, sk *Skeleton) error {
+	if len(sk.tail) != len(x.tail) || sk.numBase != x.numBase {
+		return fmt.Errorf("ch: bundle skeleton has %d arcs, index has %d", len(sk.tail), len(x.tail))
+	}
+	for v := range sk.rank {
+		if sk.rank[v] != x.rank[v] {
+			return fmt.Errorf("ch: bundle skeleton rank of vertex %d disagrees with the index", v)
+		}
+	}
+	for a := range sk.tail {
+		if sk.tail[a] != x.tail[a] || sk.head[a] != x.head[a] || sk.via[a] != x.via[a] {
+			return fmt.Errorf("ch: bundle skeleton arc %d disagrees with the index", a)
+		}
+	}
+	x.skel = sk
+	x.buildStats.Customized = true
+	return nil
 }

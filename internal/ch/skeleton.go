@@ -1,0 +1,522 @@
+package ch
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Skeleton is the metric-independent half of a customizable contraction
+// hierarchy: the contraction order plus the full shortcut topology, with no
+// weights and therefore no MPC. It is a pure function of the public graph
+// topology, so every silo derives the identical skeleton locally and it
+// never changes under traffic.
+//
+// Unlike the witness-pruned hierarchy of Build, the skeleton adds a shortcut
+// for EVERY lower triangle: a witness found under one traffic metric proves
+// nothing about the next one, so pruning here would be unsound. The price is
+// a larger overlay; the payoff is that a traffic change costs one
+// weight-customization sweep (Customize) instead of a full federated
+// rebuild.
+type Skeleton struct {
+	g       *graph.Graph
+	rank    []int32 // contraction position per vertex
+	numBase int
+
+	// Per overlay arc; shortcut via vertices are non-decreasing in rank
+	// across arc IDs (shortcuts are created in contraction order), which is
+	// what lets one ascending pass derive the customization plan.
+	tail, head []graph.Vertex
+	via        []graph.Vertex // NoShortcut for base arcs
+
+	stats SkeletonStats
+
+	planOnce sync.Once
+	plan     *custPlan
+}
+
+// SkeletonStats reports the (plaintext, MPC-free) skeleton construction
+// cost. Ordering is interleaved with contraction (the greedy score tracks
+// the live overlay), so there is no separate ordering phase to report.
+type SkeletonStats struct {
+	Shortcuts int
+	WallTime  time.Duration
+}
+
+// maxSkelArcs caps the overlay so arc IDs stay inside int32 (the ID width
+// everywhere in the index); hitting it means the ordering degenerated on
+// this topology and the skeleton must fail cleanly, not wrap around.
+const maxSkelArcs = 1<<31 - 1
+
+// BuildSkeleton contracts the graph on topology alone: every (in-neighbor,
+// out-neighbor) pair alive at a contraction gains a shortcut unconditionally
+// — no witness search, no weights, no federation. The result can be
+// customized for any traffic metric with Customize.
+//
+// Because nothing is witness-pruned, the contraction order decides the
+// overlay size outright, and a static order computed on the input graph
+// degenerates badly: without pruning, late vertices accumulate huge live
+// neighborhoods (on an 8k-vertex grid the fill-in overflows 2^31 arcs). The
+// order is therefore chosen dynamically — always contract the vertex whose
+// *live* overlay neighborhood is currently cheapest (greedy min fill-in for
+// OrderEdgeDiff, min live degree for OrderDegree), ties broken by vertex ID
+// — which is the standard customizable-CH discipline and keeps the skeleton
+// near-linear on road-like topologies. The order is a deterministic function
+// of the public topology alone, so every silo still derives the identical
+// skeleton locally.
+func BuildSkeleton(g *graph.Graph, w0 graph.Weights, prm Params) (*Skeleton, error) {
+	switch prm.Ordering {
+	case "":
+		prm.Ordering = OrderEdgeDiff
+	case OrderEdgeDiff, OrderDegree:
+	default:
+		return nil, fmt.Errorf("ch: unknown ordering %q", prm.Ordering)
+	}
+	start := time.Now()
+	n := g.NumVertices()
+	sk := &Skeleton{g: g, numBase: g.NumArcs(), rank: make([]int32, n)}
+
+	// Live overlay adjacency as neighbor *sets*: parallel overlay arcs (many
+	// triangles over one (u,w) pair) collapse to a single entry, which is all
+	// the ordering scores and the pair enumeration need. Sets only ever hold
+	// uncontracted vertices — a contraction removes itself from its
+	// neighbors' sets on the way out.
+	outAdj := make([]map[graph.Vertex]struct{}, n)
+	inAdj := make([]map[graph.Vertex]struct{}, n)
+	for v := 0; v < n; v++ {
+		outAdj[v] = make(map[graph.Vertex]struct{})
+		inAdj[v] = make(map[graph.Vertex]struct{})
+	}
+	for a := 0; a < g.NumArcs(); a++ {
+		u, w := g.Tail(graph.Arc(a)), g.Head(graph.Arc(a))
+		sk.tail = append(sk.tail, u)
+		sk.head = append(sk.head, w)
+		sk.via = append(sk.via, NoShortcut)
+		if u != w {
+			outAdj[u][w] = struct{}{}
+			inAdj[w][u] = struct{}{}
+		}
+	}
+
+	score := func(v graph.Vertex) int64 {
+		ins, outs := int64(len(inAdj[v])), int64(len(outAdj[v]))
+		if prm.Ordering == OrderDegree {
+			return ins + outs
+		}
+		return ins*outs - (ins + outs) // new triangles minus retired arcs
+	}
+
+	// Lazy-update heap: entries may be stale (a neighbor contracted since
+	// the push), so every pop re-scores; a stale entry is replaced by a
+	// current one and duplicates are skipped once the vertex is contracted.
+	// Selection is deterministic: (score, vertex ID) ordering, and map
+	// iteration never decides anything.
+	h := make(skelHeap, 0, n)
+	for v := 0; v < n; v++ {
+		h = append(h, skelCand{graph.Vertex(v), score(graph.Vertex(v))})
+	}
+	heap.Init(&h)
+
+	contracted := make([]bool, n)
+	pos := 0
+	for h.Len() > 0 {
+		c := heap.Pop(&h).(skelCand)
+		v := c.v
+		if contracted[v] {
+			continue
+		}
+		if s := score(v); s != c.score {
+			heap.Push(&h, skelCand{v, s})
+			continue
+		}
+		sk.rank[v] = int32(pos)
+		pos++
+		ins := sortedNeighbors(inAdj[v])
+		outs := sortedNeighbors(outAdj[v])
+		for _, u := range ins {
+			for _, w := range outs {
+				if u == w {
+					continue
+				}
+				if len(sk.tail) >= maxSkelArcs {
+					return nil, fmt.Errorf("ch: skeleton overlay exceeds %d arcs — ordering degenerated on this topology", maxSkelArcs)
+				}
+				sk.tail = append(sk.tail, u)
+				sk.head = append(sk.head, w)
+				sk.via = append(sk.via, v)
+				outAdj[u][w] = struct{}{}
+				inAdj[w][u] = struct{}{}
+			}
+		}
+		for _, u := range ins {
+			delete(outAdj[u], v)
+		}
+		for _, w := range outs {
+			delete(inAdj[w], v)
+		}
+		contracted[v] = true
+		// Eagerly refresh the scores of everything this contraction touched,
+		// so the greedy choice tracks the live overlay instead of waiting for
+		// a stale entry to surface.
+		for _, u := range ins {
+			heap.Push(&h, skelCand{u, score(u)})
+		}
+		for _, w := range outs {
+			heap.Push(&h, skelCand{w, score(w)})
+		}
+	}
+	sk.stats = SkeletonStats{
+		Shortcuts: sk.NumShortcuts(),
+		WallTime:  time.Since(start),
+	}
+	return sk, nil
+}
+
+// sortedNeighbors materializes a neighbor set ascending by vertex ID so
+// skeleton arc IDs are deterministic.
+func sortedNeighbors(set map[graph.Vertex]struct{}) []graph.Vertex {
+	out := make([]graph.Vertex, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// skelCand / skelHeap implement the lazy ordering queue of BuildSkeleton.
+type skelCand struct {
+	v     graph.Vertex
+	score int64
+}
+
+type skelHeap []skelCand
+
+func (h skelHeap) Len() int { return len(h) }
+func (h skelHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
+	return h[i].v < h[j].v
+}
+func (h skelHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *skelHeap) Push(x any)   { *h = append(*h, x.(skelCand)) }
+func (h *skelHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Graph returns the graph the skeleton was contracted from.
+func (sk *Skeleton) Graph() *graph.Graph { return sk.g }
+
+// NumArcs reports the overlay arc count (base arcs + skeleton shortcuts).
+func (sk *Skeleton) NumArcs() int { return len(sk.tail) }
+
+// NumShortcuts reports how many topology shortcuts the skeleton holds.
+func (sk *Skeleton) NumShortcuts() int { return len(sk.tail) - sk.numBase }
+
+// Rank returns the contraction rank of v.
+func (sk *Skeleton) Rank(v graph.Vertex) int32 { return sk.rank[v] }
+
+// Stats reports the skeleton construction cost.
+func (sk *Skeleton) Stats() SkeletonStats { return sk.stats }
+
+// Levels reports the customization sweep depth (the hierarchy level of the
+// deepest shortcut).
+func (sk *Skeleton) Levels() int { return sk.Plan().maxLvl }
+
+// custPlan is the metric-independent customization schedule derived once per
+// skeleton and shared by every Customize run and in-place customized update.
+//
+// Overlay arcs with the same (tail, head) form a "pair group"; the merged-
+// CCH weight of the ordered pair is the joint minimum over the group. Every
+// group member is created strictly before any shortcut that consumes the
+// group (an arc into/out of a vertex z always predates z's contraction), so
+// arc IDs give a valid evaluation order, and the level function below slices
+// it into sweeps whose Fed-SAC tournaments can run as one batch per level:
+//
+//	lvl(base arc) = 0
+//	lvl(shortcut) = 1 + max lvl over both child groups' members
+//
+// A shortcut at level L reads only group winners decided at levels < L, and
+// a group is decided (its tournament runs) at the level of its deepest
+// member.
+type custPlan struct {
+	groupOf  []int32   // overlay arc -> pair group
+	groups   [][]int32 // pair group -> member arc IDs, ascending
+	groupLvl []int32   // pair group -> level its winner is decided at
+	gA, gB   []int32   // per shortcut (ID - numBase): child pair groups
+
+	maxLvl      int
+	shortcutsAt [][]int32 // level -> shortcut arc IDs weighted there (1..maxLvl)
+	groupsAt    [][]int32 // level -> multi-member groups whose tournament runs there
+}
+
+// Plan returns the skeleton's customization schedule, computing it on first
+// use.
+func (sk *Skeleton) Plan() *custPlan {
+	sk.planOnce.Do(func() { sk.plan = sk.computePlan() })
+	return sk.plan
+}
+
+func (sk *Skeleton) computePlan() *custPlan {
+	m := len(sk.tail)
+	pl := &custPlan{
+		groupOf: make([]int32, m),
+		gA:      make([]int32, m-sk.numBase),
+		gB:      make([]int32, m-sk.numBase),
+	}
+	lvl := make([]int32, m)
+	groupIDs := make(map[[2]graph.Vertex]int32)
+	groupID := func(u, w graph.Vertex) int32 {
+		key := [2]graph.Vertex{u, w}
+		id, ok := groupIDs[key]
+		if !ok {
+			id = int32(len(pl.groups))
+			groupIDs[key] = id
+			pl.groups = append(pl.groups, nil)
+			pl.groupLvl = append(pl.groupLvl, 0)
+		}
+		return id
+	}
+	for a := 0; a < m; a++ {
+		ai := int32(a)
+		if a >= sk.numBase {
+			// Both child groups are complete by now: every member of
+			// (tail, via) and (via, head) predates via's contraction and
+			// hence this shortcut.
+			i := a - sk.numBase
+			ga := groupID(sk.tail[a], sk.via[a])
+			gb := groupID(sk.via[a], sk.head[a])
+			pl.gA[i], pl.gB[i] = ga, gb
+			l := pl.groupLvl[ga]
+			if pl.groupLvl[gb] > l {
+				l = pl.groupLvl[gb]
+			}
+			lvl[ai] = l + 1
+		}
+		g := groupID(sk.tail[a], sk.head[a])
+		pl.groupOf[ai] = g
+		pl.groups[g] = append(pl.groups[g], ai)
+		if lvl[ai] > pl.groupLvl[g] {
+			pl.groupLvl[g] = lvl[ai]
+		}
+		if int(lvl[ai]) > pl.maxLvl {
+			pl.maxLvl = int(lvl[ai])
+		}
+	}
+	pl.shortcutsAt = make([][]int32, pl.maxLvl+1)
+	for a := sk.numBase; a < m; a++ {
+		pl.shortcutsAt[lvl[a]] = append(pl.shortcutsAt[lvl[a]], int32(a))
+	}
+	pl.groupsAt = make([][]int32, pl.maxLvl+1)
+	for g := range pl.groups {
+		if len(pl.groups[g]) > 1 {
+			l := pl.groupLvl[g]
+			pl.groupsAt[l] = append(pl.groupsAt[l], int32(g))
+		}
+	}
+	return pl
+}
+
+// Skeleton persistence (FRSK): the weight-free topology a restart reuses so
+// recovery costs one customization sweep instead of a re-contraction. Format
+// is little-endian u32s: magic, version, n, m, numBase, rank[n], then per
+// overlay arc (tail, head, via) with via = 0xffffffff marking base arcs,
+// terminated by an FNV-1a checksum over everything before it. Structural
+// validation alone cannot catch a bit flip that relocates a shortcut onto
+// another legal pair — and a skeleton missing even one lower triangle loses
+// query exactness — so integrity is checked byte-for-byte.
+const (
+	skeletonMagic   = 0x4652534b // "FRSK"
+	skeletonVersion = 1
+	skelNoVia       = 0xffffffff
+)
+
+// fnv1a32 is the same hash the FRST state snapshot uses for its topology
+// fingerprint.
+func fnv1a32(data []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range data {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
+// Write serializes the skeleton.
+func (sk *Skeleton) Write(w io.Writer) error {
+	var buf bytes.Buffer
+	cw := &binWriter{w: bufio.NewWriter(&buf)}
+	hdr := []uint32{skeletonMagic, skeletonVersion,
+		uint32(len(sk.rank)), uint32(len(sk.tail)), uint32(sk.numBase)}
+	for _, v := range hdr {
+		if err := cw.u32(v); err != nil {
+			return err
+		}
+	}
+	for _, r := range sk.rank {
+		if err := cw.u32(uint32(r)); err != nil {
+			return err
+		}
+	}
+	for a := range sk.tail {
+		via := uint32(skelNoVia)
+		if sk.via[a] != NoShortcut {
+			via = uint32(sk.via[a])
+		}
+		for _, v := range []uint32{uint32(sk.tail[a]), uint32(sk.head[a]), via} {
+			if err := cw.u32(v); err != nil {
+				return err
+			}
+		}
+	}
+	if err := cw.w.Flush(); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], fnv1a32(buf.Bytes()))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// ReadSkeleton deserializes and validates a skeleton against the graph it
+// claims to contract. Validation is strict enough that any accepted skeleton
+// yields a sound customization plan — in particular the creation-order
+// invariant (shortcut via ranks non-decreasing across arc IDs, and both legs
+// of every shortcut already present among earlier arcs) is enforced, so
+// group members always precede their consumers and a corrupt file fails here
+// instead of producing wrong routes after customization.
+func ReadSkeleton(g *graph.Graph, r io.Reader) (*Skeleton, error) {
+	br := bufio.NewReader(r)
+	var hdrBytes [20]byte
+	if _, err := io.ReadFull(br, hdrBytes[:]); err != nil {
+		return nil, fmt.Errorf("ch: skeleton header: %w", err)
+	}
+	var hdr [5]uint32
+	for i := range hdr {
+		hdr[i] = binary.LittleEndian.Uint32(hdrBytes[4*i:])
+	}
+	if hdr[0] != skeletonMagic {
+		return nil, fmt.Errorf("ch: skeleton bad magic %#x", hdr[0])
+	}
+	if hdr[1] != skeletonVersion {
+		return nil, fmt.Errorf("ch: skeleton unsupported version %d", hdr[1])
+	}
+	n, m, numBase := int(hdr[2]), int(hdr[3]), int(hdr[4])
+	if n != g.NumVertices() || numBase != g.NumArcs() || m < numBase {
+		return nil, fmt.Errorf("ch: skeleton shape (%d vertices, %d base arcs, %d overlay) does not fit the graph (%d, %d)",
+			n, numBase, m, g.NumVertices(), g.NumArcs())
+	}
+	// One shortcut per (u, via, w) triple bounds any genuine skeleton by
+	// numBase + n³; reject a lying header before allocating by it.
+	if uint64(m) > uint64(numBase)+uint64(n)*uint64(n)*uint64(n) {
+		return nil, fmt.Errorf("ch: implausible skeleton arc count %d for %d vertices", m, n)
+	}
+	// Verify integrity before trusting a single field: read the exact
+	// payload (ReadAll grows with bytes that actually arrive, so a lying
+	// header on a truncated stream errors instead of allocating by it),
+	// then check the trailing FNV-1a over header + payload.
+	payloadLen := int64(n+3*m) * 4
+	payload, err := io.ReadAll(io.LimitReader(br, payloadLen))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(payload)) != payloadLen {
+		return nil, fmt.Errorf("ch: skeleton truncated (%d of %d payload bytes)", len(payload), payloadLen)
+	}
+	var sumBytes [4]byte
+	if _, err := io.ReadFull(br, sumBytes[:]); err != nil {
+		return nil, fmt.Errorf("ch: skeleton checksum: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(sumBytes[:])
+	got := fnv1a32(append(append([]byte(nil), hdrBytes[:]...), payload...))
+	if got != want {
+		return nil, fmt.Errorf("ch: skeleton checksum mismatch (%#x != %#x)", got, want)
+	}
+	rd := &reader{r: bufio.NewReader(bytes.NewReader(payload))}
+	sk := &Skeleton{
+		g:       g,
+		numBase: numBase,
+		rank:    make([]int32, n),
+		tail:    make([]graph.Vertex, m),
+		head:    make([]graph.Vertex, m),
+		via:     make([]graph.Vertex, m),
+	}
+	seenRank := make([]bool, n)
+	for v := 0; v < n; v++ {
+		r, err := rd.u32()
+		if err != nil {
+			return nil, err
+		}
+		if r >= uint32(n) || seenRank[r] {
+			return nil, fmt.Errorf("ch: skeleton rank table is not a permutation of [0,%d)", n)
+		}
+		seenRank[r] = true
+		sk.rank[v] = int32(r)
+	}
+	seenPair := make(map[[2]graph.Vertex]bool, m)
+	lastViaRank := int32(-1)
+	for a := 0; a < m; a++ {
+		var vals [3]uint32
+		for i := range vals {
+			v, err := rd.u32()
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		u, w := graph.Vertex(vals[0]), graph.Vertex(vals[1])
+		if int(u) < 0 || int(u) >= n || int(w) < 0 || int(w) >= n {
+			return nil, fmt.Errorf("ch: skeleton arc %d endpoints out of range", a)
+		}
+		sk.tail[a], sk.head[a] = u, w
+		if a < numBase {
+			if vals[2] != skelNoVia {
+				return nil, fmt.Errorf("ch: skeleton base arc %d marked as shortcut", a)
+			}
+			sk.via[a] = NoShortcut
+			if u != g.Tail(graph.Arc(a)) || w != g.Head(graph.Arc(a)) {
+				return nil, fmt.Errorf("ch: skeleton base arc %d does not match the graph", a)
+			}
+		} else {
+			if vals[2] == skelNoVia {
+				return nil, fmt.Errorf("ch: skeleton arc %d beyond the base range is not a shortcut", a)
+			}
+			z := graph.Vertex(vals[2])
+			if int(z) < 0 || int(z) >= n {
+				return nil, fmt.Errorf("ch: skeleton shortcut %d via vertex out of range", a)
+			}
+			sk.via[a] = z
+			if sk.rank[z] >= sk.rank[u] || sk.rank[z] >= sk.rank[w] {
+				return nil, fmt.Errorf("ch: skeleton shortcut %d via vertex does not rank below its endpoints", a)
+			}
+			// Creation order: shortcuts appear in contraction order, and both
+			// legs of a lower triangle must already exist. Together these
+			// guarantee every pair group is complete before any consumer.
+			if sk.rank[z] < lastViaRank {
+				return nil, fmt.Errorf("ch: skeleton shortcut %d breaks via-rank creation order", a)
+			}
+			lastViaRank = sk.rank[z]
+			if !seenPair[[2]graph.Vertex{u, z}] || !seenPair[[2]graph.Vertex{z, w}] {
+				return nil, fmt.Errorf("ch: skeleton shortcut %d has a leg with no underlying arc", a)
+			}
+		}
+		seenPair[[2]graph.Vertex{u, w}] = true
+	}
+	sk.stats = SkeletonStats{Shortcuts: sk.NumShortcuts()}
+	return sk, nil
+}

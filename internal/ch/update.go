@@ -42,6 +42,11 @@ type UpdateStats struct {
 // rebuild; callers can compare UpdateStats.SAC against BuildStatistics().SAC
 // and rebuild when updates trend that way.
 func (x *Index) Update(changed []graph.Arc) (UpdateStats, error) {
+	// A customized index has an immutable topology: updates refresh the
+	// skeleton's weight slots in place instead of growing the overlay.
+	if x.skel != nil {
+		return x.updateCustomized(changed)
+	}
 	start := time.Now()
 	before := x.f.Engine().Stats()
 	stats := UpdateStats{ChangedArcs: len(changed)}

@@ -151,6 +151,56 @@ func TestUpdateConvergesAcrossManyRounds(t *testing.T) {
 	checkShortcutInvariants(t, f, x)
 }
 
+// TestCustomizedUpdateNeverGrows is the regression test for the customized
+// dynamic-update path: a witness-built index may legitimately grow higher-ID
+// arcs when traffic flips witness decisions, but a CUSTOMIZED index has an
+// immutable topology — Update must refresh the skeleton's weight slots in
+// place and never append an arc, across many rounds of heavy re-congestion,
+// while staying exactly Dijkstra-correct.
+func TestCustomizedUpdateNeverGrows(t *testing.T) {
+	g, w0 := graph.GenerateRoadLike(260, 93)
+	f := federationFor(t, g, w0)
+	sk, err := BuildSkeleton(g, w0, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Customize(f, sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs0 := x.NumArcs()
+	rng := rand.New(rand.NewPCG(31, 31))
+	for round := 0; round < 15; round++ {
+		var changed []graph.Arc
+		for _, ai := range rng.Perm(g.NumArcs())[:g.NumArcs()/12] {
+			a := graph.Arc(ai)
+			changed = append(changed, a)
+			for p := 0; p < f.P(); p++ {
+				f.Silo(p).SetWeight(a, w0[a]+rng.Int64N(60000)+1)
+			}
+		}
+		st, err := x.Update(changed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.AddedShortcuts != 0 {
+			t.Fatalf("round %d: customized update added %d shortcuts", round, st.AddedShortcuts)
+		}
+		if x.NumArcs() != arcs0 {
+			t.Fatalf("round %d: overlay changed size %d -> %d (topology is immutable)", round, arcs0, x.NumArcs())
+		}
+		joint := f.JointWeights()
+		for trial := 0; trial < 12; trial++ {
+			s := graph.Vertex(rng.IntN(g.NumVertices()))
+			tt := graph.Vertex(rng.IntN(g.NumVertices()))
+			want, _ := graph.DijkstraTo(g, joint, s, tt)
+			if got := chQueryJoint(x, s, tt); got != want {
+				t.Fatalf("round %d: dist(%d,%d) = %d, want %d", round, s, tt, got, want)
+			}
+		}
+	}
+}
+
 func TestUpdateOnRoadLikeTopology(t *testing.T) {
 	g, w0 := graph.GenerateRoadLike(300, 89)
 	f := federationFor(t, g, w0)

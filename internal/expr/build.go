@@ -22,6 +22,12 @@ type BuildBenchRow struct {
 	Arcs     int    `json:"arcs"`
 	Workers  int    `json:"workers"`
 	Batched  bool   `json:"batched"`
+	// Customize marks the weight-customization variant: the topology skeleton
+	// is contracted once in plaintext and only the per-level batched Fed-SAC
+	// weight sweep runs — the MPC cost of refreshing the index after a
+	// traffic batch. Its MPCRounds must stay far below the full-build rows'
+	// (benchgate enforces < 25%).
+	Customize bool `json:"customize,omitempty"`
 
 	WallMs        float64 `json:"wall_ms"`
 	OrderingMs    float64 `json:"ordering_ms"`
@@ -89,6 +95,7 @@ func (h *Harness) RunIndexBuildBench() (*BuildBenchReport, error) {
 	}
 	for _, name := range h.cfg.Datasets {
 		g, w0, spec := h.generate(name)
+		first := len(rep.Rows)
 		var seqWall time.Duration
 		var seqShortcuts int
 		for vi, prm := range variants {
@@ -129,10 +136,47 @@ func (h *Harness) RunIndexBuildBench() (*BuildBenchReport, error) {
 			}
 			rep.Rows = append(rep.Rows, row)
 		}
+		// The customization variant: contract the topology skeleton once in
+		// plaintext, then run only the batched per-level weight sweep. This is
+		// the recurring cost of refreshing the index per traffic version; the
+		// full-build rows above are the one-off cost it replaces.
+		{
+			sets := traffic.SiloWeights(w0, h.cfg.Silos, h.cfg.Level, h.cfg.Seed+spec.Seed)
+			f, err := fed.New(g, w0, sets, mpc.Params{Mode: h.cfg.Mode, Seed: h.cfg.Seed, Net: h.cfg.Net})
+			if err != nil {
+				return nil, err
+			}
+			sk, err := ch.BuildSkeleton(g, w0, ch.Params{})
+			if err != nil {
+				return nil, fmt.Errorf("expr: build bench %s skeleton: %w", name, err)
+			}
+			x, err := ch.CustomizeWith(f, sk, ch.Params{Workers: 8})
+			if err != nil {
+				return nil, fmt.Errorf("expr: build bench %s customize: %w", name, err)
+			}
+			st := x.BuildStatistics()
+			rep.Rows = append(rep.Rows, BuildBenchRow{
+				Dataset:           name,
+				Vertices:          g.NumVertices(),
+				Arcs:              g.NumArcs(),
+				Workers:           st.Workers,
+				Batched:           true,
+				Customize:         true,
+				WallMs:            float64(st.WallTime.Microseconds()) / 1e3,
+				SimNetMs:          float64(st.SAC.SimNet.Microseconds()) / 1e3,
+				TimeMs:            float64((st.WallTime + st.SAC.SimNet).Microseconds()) / 1e3,
+				Shortcuts:         st.Shortcuts,
+				Compares:          st.SAC.Compares,
+				MPCRounds:         st.SAC.Rounds,
+				RoundsSaved:       st.RoundsSaved,
+				ContractionRounds: st.Rounds,
+				AvgParallelism:    st.AvgRoundWidth,
+			})
+		}
 		// Normalize every row of this dataset against the sequential batched
 		// reference, which is exactly 1.0 — including the unbatched row, which
 		// used to report a bogus 0.
-		for i := len(rep.Rows) - len(variants); i < len(rep.Rows); i++ {
+		for i := first; i < len(rep.Rows); i++ {
 			if rep.Rows[i].WallMs > 0 {
 				rep.Rows[i].SpeedupVsSeq = float64(seqWall.Microseconds()) / 1e3 / rep.Rows[i].WallMs
 			}
@@ -146,14 +190,18 @@ func (h *Harness) PrintIndexBuildBench(rep *BuildBenchReport) {
 	h.printf("Index construction: sequential vs parallel (%d silos, GOMAXPROCS=%d)\n",
 		rep.Silos, runtime.GOMAXPROCS(0))
 	w := h.tab()
-	fmt.Fprintln(w, "dataset\tworkers\tbatched\ttime\twall\tsimnet\tshortcuts\tFed-SACs\tMPC rounds\trounds saved\tavg ∥\tspeedup")
+	fmt.Fprintln(w, "dataset\tworkers\tbatched\tmode\ttime\twall\tsimnet\tshortcuts\tFed-SACs\tMPC rounds\trounds saved\tavg ∥\tspeedup")
 	for _, r := range rep.Rows {
 		speed := "-"
 		if r.SpeedupVsSeq > 0 {
 			speed = fmt.Sprintf("%.2fx", r.SpeedupVsSeq)
 		}
-		fmt.Fprintf(w, "%s\t%d\t%v\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%.1f\t%s\n",
-			r.Dataset, r.Workers, r.Batched,
+		mode := "build"
+		if r.Customize {
+			mode = "customize"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%v\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%.1f\t%s\n",
+			r.Dataset, r.Workers, r.Batched, mode,
 			fmtDuration(time.Duration(r.TimeMs*1e6)),
 			fmtDuration(time.Duration(r.WallMs*1e6)),
 			fmtDuration(time.Duration(r.SimNetMs*1e6)),

@@ -229,3 +229,166 @@ func TestOracleAfterTrafficUpdate(t *testing.T) {
 	}
 	checkAgainstOracle(t, f, joint, oracleQueries(g, 80, 3))
 }
+
+// liveJointWeights reads the current per-silo weights into a plaintext joint
+// oracle.
+func liveJointWeights(f *Federation) Weights {
+	g := f.Graph()
+	joint := make(Weights, g.NumArcs())
+	for p := 0; p < f.Silos(); p++ {
+		for a := 0; a < g.NumArcs(); a++ {
+			joint[a] += f.inner.Silo(p).Weight(Arc(a))
+		}
+	}
+	return joint
+}
+
+// TestOracleCustomizeAxis is the customize axis of the oracle: an index
+// derived by weight CUSTOMIZATION over the topology skeleton must be
+// indistinguishable, on every engine configuration, from both plaintext
+// Dijkstra and a from-scratch federated build at the same traffic version.
+// Several random traffic batches advance the version between checks, each
+// followed by an ApplyTraffic(..., RebuildIndex) pass (which prefers the
+// customization sweep because a skeleton exists).
+func TestOracleCustomizeAxis(t *testing.T) {
+	const versions = 3
+	g, w0 := GenerateRoadNetwork(120, 91)
+
+	// Both federations regenerate the SAME congestion sets (deterministic in
+	// the seed) so they never share mutable weight slices.
+	mk := func() *Federation {
+		t.Helper()
+		f, err := New(g, w0, SimulateCongestion(w0, 3, Moderate, 92), Config{Seed: 92, Landmarks: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	fCust := mk()
+	if err := fCust.BuildSkeleton(); err != nil {
+		t.Fatal(err)
+	}
+	if !fCust.HasSkeleton() {
+		t.Fatal("HasSkeleton false after BuildSkeleton")
+	}
+	if fCust.SkeletonStats().Shortcuts <= 0 {
+		t.Fatal("skeleton has no shortcuts on a road network")
+	}
+	if err := fCust.CustomizeIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if st := fCust.IndexStats(); !st.Customized {
+		t.Fatal("CustomizeIndex installed a non-customized index")
+	}
+	if fCust.CustomizeInfo().Customizes != 1 {
+		t.Fatalf("CustomizeInfo.Customizes = %d, want 1", fCust.CustomizeInfo().Customizes)
+	}
+
+	rng := rand.New(rand.NewPCG(93, 0xabcd))
+	var batches [][]TrafficUpdate
+	for v := 1; v <= versions; v++ {
+		var ups []TrafficUpdate
+		for i := 0; i < 20; i++ {
+			ups = append(ups, TrafficUpdate{
+				Silo:     rng.IntN(fCust.Silos()),
+				Arc:      Arc(rng.IntN(g.NumArcs())),
+				TravelMs: int64(1 + rng.IntN(5000)),
+			})
+		}
+		batches = append(batches, ups)
+		if _, err := fCust.ApplyTraffic(ups, RebuildIndex); err != nil {
+			t.Fatalf("version %d: ApplyTraffic(RebuildIndex): %v", v, err)
+		}
+		if st := fCust.IndexStats(); !st.Customized {
+			t.Fatalf("version %d: RebuildIndex ran a full contraction despite the skeleton", v)
+		}
+
+		// A from-scratch federated build over the same weights at the same
+		// traffic version.
+		fFull := mk()
+		for _, b := range batches {
+			if _, err := fFull.ApplyTraffic(b); err != nil {
+				t.Fatalf("version %d: replaying traffic: %v", v, err)
+			}
+		}
+		if err := fFull.BuildIndexWith(IndexParams{}); err != nil {
+			t.Fatalf("version %d: full build: %v", v, err)
+		}
+		if fFull.IndexStats().Customized {
+			t.Fatalf("version %d: from-scratch build reported Customized", v)
+		}
+
+		joint := liveJointWeights(fCust)
+		if jf := liveJointWeights(fFull); !slicesEqualI64(joint, jf) {
+			t.Fatalf("version %d: the two federations diverged on silo weights", v)
+		}
+		queries := oracleQueries(g, 94+uint64(v), 3)
+
+		// Full configuration lattice (SPSP + kNN) against plaintext Dijkstra.
+		checkAgainstOracle(t, fCust, joint, queries)
+
+		// Every SPSP configuration: customized and from-scratch indexes must
+		// return identical distances, query by query.
+		fFull.PrecomputeLandmarks()
+		for _, q := range queries {
+			for _, cfg := range spspConfigs() {
+				rc, _, err := fCust.ShortestPath(q[0], q[1], cfg.opt)
+				if err != nil {
+					t.Fatalf("version %d %s: customized ShortestPath(%d,%d): %v", v, cfg.name, q[0], q[1], err)
+				}
+				rf, _, err := fFull.ShortestPath(q[0], q[1], cfg.opt)
+				if err != nil {
+					t.Fatalf("version %d %s: full-build ShortestPath(%d,%d): %v", v, cfg.name, q[0], q[1], err)
+				}
+				if rc.Found != rf.Found {
+					t.Fatalf("version %d %s: (%d,%d) customized found=%v, full build found=%v",
+						v, cfg.name, q[0], q[1], rc.Found, rf.Found)
+				}
+				if rc.Found && JointCost(rc) != JointCost(rf) {
+					t.Fatalf("version %d %s: (%d,%d) customized cost %d, full build cost %d",
+						v, cfg.name, q[0], q[1], JointCost(rc), JointCost(rf))
+				}
+			}
+			// And every kNN configuration on the same footing.
+			for _, cfg := range knnConfigs() {
+				rc, _, err := fCust.NearestNeighbors(q[0], 5, cfg.opt)
+				if err != nil {
+					t.Fatalf("version %d kNN %s: customized: %v", v, cfg.name, err)
+				}
+				rf, _, err := fFull.NearestNeighbors(q[0], 5, cfg.opt)
+				if err != nil {
+					t.Fatalf("version %d kNN %s: full build: %v", v, cfg.name, err)
+				}
+				if len(rc) != len(rf) {
+					t.Fatalf("version %d kNN %s: customized %d routes, full build %d", v, cfg.name, len(rc), len(rf))
+				}
+				for i := range rc {
+					if JointCost(rc[i]) != JointCost(rf[i]) {
+						t.Fatalf("version %d kNN %s: %d-th distance %d vs %d",
+							v, cfg.name, i, JointCost(rc[i]), JointCost(rf[i]))
+					}
+				}
+			}
+		}
+		fFull.Close()
+	}
+	if got := fCust.CustomizeInfo().Customizes; got != versions+1 {
+		t.Fatalf("CustomizeInfo.Customizes = %d, want %d", got, versions+1)
+	}
+	if fCust.CustomizeInfo().LastMPCRounds <= 0 {
+		t.Fatal("CustomizeInfo.LastMPCRounds not recorded")
+	}
+}
+
+func slicesEqualI64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -219,6 +219,12 @@ func (f *Federation) RestoreState(r io.Reader) (restoredIndex bool, err error) {
 	}
 	if idx != nil {
 		f.index = idx
+		// A customized index carries its topology skeleton inside the bundle;
+		// adopt it so post-restart reindexing runs the cheap customization
+		// sweep instead of re-contracting from scratch.
+		if sk := idx.Skeleton(); sk != nil {
+			f.skel = sk
+		}
 	}
 	// The traffic version is restored LAST: it must describe the weights and
 	// index now in place, and restoring it also keys every WAL delta replayed
